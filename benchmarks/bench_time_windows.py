@@ -1,0 +1,105 @@
+"""E6 / Section 8.1 (tech-report): time-based windows under fluctuating
+input rates.
+
+Replays the GMTI-like stream through time-based sliding windows with a
+sinusoidally fluctuating arrival rate, so per-window populations vary.
+Compares C-SGS and Extra-N response times (the lifespan analysis is
+oblivious to how many tuples land in each slide) and verifies the
+clusters stay identical to a from-scratch DBSCAN per window.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import report
+from repro.clustering.cluster import partition_signature
+from repro.clustering.dbscan import dbscan
+from repro.clustering.extra_n import ExtraN
+from repro.core.csgs import CSGS
+from repro.data.gmti import GMTIStream
+from repro.eval.harness import Table, fmt_seconds
+from repro.streams.source import RateFluctuatingSource
+from repro.streams.windows import TimeBasedWindowSpec, Windower
+
+THETA_RANGE, THETA_COUNT = 2.5, 8
+WIN_SECONDS, SLIDE_SECONDS = 20.0, 5.0
+N_POINTS = 9000
+
+_state = {}
+
+
+def _batches():
+    stream = GMTIStream(seed=13, noise_fraction=0.2)
+    source = RateFluctuatingSource(
+        stream.points(N_POINTS),
+        base_rate=100.0,
+        amplitude=0.6,
+        period=2000,
+    )
+    spec = TimeBasedWindowSpec(WIN_SECONDS, SLIDE_SECONDS)
+    return list(Windower(spec).batches(source))
+
+
+def _setup():
+    if _state:
+        return _state
+    batches = _batches()
+    csgs = CSGS(THETA_RANGE, THETA_COUNT, 2)
+    extra_n = ExtraN(THETA_RANGE, THETA_COUNT, 2)
+    csgs_times, extra_times, populations = [], [], []
+    buffer = []
+    mismatches = 0
+    for batch in batches:
+        start = time.perf_counter()
+        output = csgs.process_batch(batch)
+        csgs_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        extra_clusters = extra_n.process_batch(batch)
+        extra_times.append(time.perf_counter() - start)
+        buffer = [o for o in buffer if o.last_window >= batch.index]
+        buffer.extend(batch.new_objects)
+        populations.append(len(buffer))
+        oracle = dbscan(buffer, THETA_RANGE, THETA_COUNT, batch.index)
+        sig = partition_signature(oracle)
+        if partition_signature(output.clusters) != sig:
+            mismatches += 1
+        if partition_signature(extra_clusters) != sig:
+            mismatches += 1
+    _state.update(
+        csgs_times=csgs_times,
+        extra_times=extra_times,
+        populations=populations,
+        mismatches=mismatches,
+    )
+    return _state
+
+
+def test_time_windows_csgs(benchmark):
+    benchmark.pedantic(_setup, rounds=1, iterations=1)
+
+
+def test_time_windows_report(benchmark):
+    state = _setup()
+    table = Table(
+        "Time-based windows, fluctuating rate (GMTI-like)",
+        ["metric", "value"],
+    )
+    table.add_row("windows processed", len(state["csgs_times"]))
+    table.add_row(
+        "window population (min/max)",
+        f"{min(state['populations'])}/{max(state['populations'])}",
+    )
+    avg_csgs = sum(state["csgs_times"]) / len(state["csgs_times"])
+    avg_extra = sum(state["extra_times"]) / len(state["extra_times"])
+    table.add_row("C-SGS avg response time", fmt_seconds(avg_csgs))
+    table.add_row("Extra-N avg response time", fmt_seconds(avg_extra))
+    table.add_row("csgs/extra-n ratio", f"{avg_csgs / avg_extra:.2f}")
+    table.add_row("cluster mismatches vs DBSCAN", state["mismatches"])
+    report(table.render())
+
+    assert state["mismatches"] == 0
+    # Populations must actually fluctuate for the experiment to bite.
+    assert max(state["populations"]) > 1.3 * min(state["populations"])
+    assert avg_csgs < 1.5 * avg_extra
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

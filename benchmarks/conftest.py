@@ -1,0 +1,20 @@
+"""Benchmark-suite conftest: flush experiment tables after the run.
+
+pytest captures stdout at the file-descriptor level, so the per-bench
+tables are queued in ``common.REPORT_LINES`` and emitted here, in the
+terminal summary, where they reach the real terminal (and any ``tee``).
+"""
+
+from __future__ import annotations
+
+import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not common.REPORT_LINES:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("experiment tables (paper artifacts)")
+    for line in common.REPORT_LINES:
+        for part in line.split("\n"):
+            terminalreporter.write_line(part)

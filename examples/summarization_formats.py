@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Side-by-side comparison of the four summarization formats.
+
+Extracts one density-based cluster, summarizes it as SGS / CRD / RSP /
+SkPS, and prints what each format can (and cannot) say about the
+cluster — a runnable version of the paper's Sections 2 and 4 argument,
+plus the storage cost of each format under the shared byte model.
+
+Run:  python examples/summarization_formats.py
+"""
+
+from repro import DriftingBlobStream, dbscan
+from repro.core.csgs import CSGS
+from repro.eval.memory import (
+    crd_bytes,
+    full_representation_bytes,
+    rsp_bytes,
+    sgs_bytes,
+    skps_bytes,
+)
+from repro.streams.source import ListSource
+from repro.streams.windows import CountBasedWindowSpec, Windower
+from repro.summaries.crd import CRDSummarizer
+from repro.summaries.rsp import RSPSummarizer
+from repro.summaries.skps import SkPSSummarizer
+
+THETA_RANGE, THETA_COUNT = 0.3, 5
+
+# Build one crescent-ish cluster: two overlapping blobs plus noise.
+stream = DriftingBlobStream(
+    n_blobs=2, std=0.45, drift=0.0, noise_fraction=0.15, seed=11,
+    lows=(0.0, 0.0), highs=(6.0, 6.0),
+)
+points = list(stream.points(1200))
+
+# Extract with C-SGS over a single filled window.
+csgs = CSGS(THETA_RANGE, THETA_COUNT, 2)
+windower = Windower(CountBasedWindowSpec(win=1200, slide=1200))
+output = next(iter(csgs.process(windower.batches(ListSource(points)))))
+cluster = max(output.clusters, key=lambda c: c.size)
+sgs = output.summaries[cluster.cluster_id]
+
+print(f"cluster: {cluster.size} members "
+      f"({len(cluster.core_objects)} core, {len(cluster.edge_objects)} edge)")
+print(f"full representation: {full_representation_bytes(cluster, 2)} bytes\n")
+
+# --- SGS -------------------------------------------------------------------
+print("SGS (Skeletal Grid Summarization)")
+print(f"  cells: {len(sgs)} ({sgs.core_count} core), "
+      f"bytes: {sgs_bytes(sgs)}")
+densities = sorted(cell.density() for cell in sgs.cells.values())
+print(f"  density distribution across sub-regions: "
+      f"min {densities[0]:.1f}, median {densities[len(densities)//2]:.1f}, "
+      f"max {densities[-1]:.1f} objects/unit^2")
+print(f"  connectivity: avg {sgs.average_connectivity():.1f} connections "
+      f"per core cell; connected summary: {sgs.is_connected()}")
+box = sgs.mbr()
+print(f"  shape/location: covers [{box.lows[0]:.2f},{box.highs[0]:.2f}] x "
+      f"[{box.lows[1]:.2f},{box.highs[1]:.2f}], "
+      f"bounded location error <= theta_range\n")
+
+# --- CRD -------------------------------------------------------------------
+crd = CRDSummarizer().summarize(cluster)
+print("CRD (centroid + radius + density)")
+print(f"  centroid ({crd.centroid[0]:.2f}, {crd.centroid[1]:.2f}), "
+      f"radius {crd.radius:.2f}, density {crd.density:.1f}, "
+      f"bytes: {crd_bytes(crd)}")
+print("  cannot express: arbitrary shape, sub-region connectivity, or any "
+      "internal density variation\n")
+
+# --- RSP -------------------------------------------------------------------
+rsp = RSPSummarizer(budget_cells=lambda c: len(sgs), seed=1).summarize(cluster)
+print("RSP (random sample, budget-matched to the SGS)")
+print(f"  {rsp.sample_size} sampled points, bytes: {rsp_bytes(rsp)}")
+print("  approximates shape, but gives no exact densities and no explicit "
+      "connectivity; matching needs point-set distances\n")
+
+# --- SkPS ------------------------------------------------------------------
+skps = SkPSSummarizer(THETA_RANGE).summarize(cluster)
+print("SkPS (skeletal point set, greedy connected dominating set)")
+print(f"  {skps.size} skeletal points, {len(skps.edges)} edges, "
+      f"bytes: {skps_bytes(skps)}")
+print("  preserves connectivity, but density description is weak, the "
+      "summary is not unique for a cluster, and computing it is the most "
+      "expensive of the four\n")
+
+ratio = sgs_bytes(sgs) / full_representation_bytes(cluster, 2)
+print(f"SGS compression rate vs full representation: {1 - ratio:.1%}")

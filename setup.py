@@ -1,0 +1,9 @@
+"""Shim so editable installs work without the wheel package installed.
+
+``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``,
+which this file enables; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""Archive retention: keep the Pattern Base bounded over endless streams.
+
+The Pattern Archiver decides *what enters* the base; on an unbounded
+stream the base still grows forever. The retention manager enforces the
+operational limits the paper leaves to the deployment:
+
+* **capacity** — a maximum pattern count (or byte budget); the oldest
+  windows are evicted first, mirroring how analysts value recent stream
+  history;
+* **deduplication** — an optional admission check that drops a new
+  pattern when a near-duplicate (cluster-level feature distance below
+  ``dedup_threshold`` and overlapping in space, for position-sensitive
+  setups) is already archived from a recent window.
+
+Both operate through the public PatternBase interface, so indices stay
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.archive.pattern_base import ArchivedPattern, PatternBase
+from repro.core.features import ClusterFeatures
+from repro.core.sgs import SGS
+from repro.matching.metric import (
+    DistanceMetricSpec,
+    cluster_feature_distance,
+    feature_search_ranges,
+)
+
+
+class RetentionManager:
+    """Bounded, optionally deduplicated admission to a Pattern Base."""
+
+    def __init__(
+        self,
+        base: PatternBase,
+        max_patterns: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        dedup_threshold: Optional[float] = None,
+        dedup_window_gap: int = 5,
+        spec: Optional[DistanceMetricSpec] = None,
+    ):
+        if max_patterns is not None and max_patterns < 1:
+            raise ValueError("max_patterns must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if dedup_threshold is not None and not 0 <= dedup_threshold <= 1:
+            raise ValueError("dedup_threshold must be in [0, 1]")
+        self.base = base
+        self.max_patterns = max_patterns
+        self.max_bytes = max_bytes
+        self.dedup_threshold = dedup_threshold
+        self.dedup_window_gap = dedup_window_gap
+        self.spec = spec if spec is not None else DistanceMetricSpec()
+        self.evicted = 0
+        self.deduplicated = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _near_duplicate(self, sgs: SGS) -> Optional[ArchivedPattern]:
+        assert self.dedup_threshold is not None
+        features = ClusterFeatures.from_sgs(sgs)
+        lows, highs = feature_search_ranges(
+            features, self.spec, self.dedup_threshold
+        )
+        for candidate in self.base.in_feature_ranges(lows, highs):
+            if (
+                sgs.window_index >= 0
+                and candidate.window_index >= 0
+                and sgs.window_index - candidate.window_index
+                > self.dedup_window_gap
+            ):
+                continue
+            distance = cluster_feature_distance(
+                features,
+                candidate.features,
+                self.spec,
+                sgs.mbr(),
+                candidate.mbr,
+            )
+            if distance <= self.dedup_threshold:
+                return candidate
+        return None
+
+    def add(self, sgs: SGS, full_size: int) -> Optional[ArchivedPattern]:
+        """Admit one summary; returns None when deduplicated away."""
+        if self.dedup_threshold is not None:
+            duplicate = self._near_duplicate(sgs)
+            if duplicate is not None:
+                self.deduplicated += 1
+                return None
+        pattern = self.base.add(sgs, full_size)
+        self.enforce()
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def _over_budget(self) -> bool:
+        if self.max_patterns is not None and len(self.base) > self.max_patterns:
+            return True
+        if (
+            self.max_bytes is not None
+            and self.base.summary_bytes() > self.max_bytes
+        ):
+            return True
+        return False
+
+    def enforce(self) -> int:
+        """Evict oldest-window patterns until within budget.
+
+        Returns the number of patterns evicted.
+        """
+        evicted = 0
+        while self._over_budget():
+            victims: List[ArchivedPattern] = sorted(
+                self.base.all_patterns(),
+                key=lambda p: (p.window_index, p.pattern_id),
+            )
+            if not victims:
+                break
+            self.base.remove(victims[0].pattern_id)
+            evicted += 1
+        self.evicted += evicted
+        return evicted

@@ -1,0 +1,111 @@
+"""The Pattern Base: organized storage of archived cluster summaries.
+
+Section 7.1: archived clusters are organized by *two* feature indices —
+an R-tree over each cluster's MBR (the locational feature index) and a
+4-D grid over the non-locational features captured by SGS (volume, status
+count, average density, average connectivity). Matching queries use one
+or the other to locate candidates, depending on position sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.features import ClusterFeatures
+from repro.core.sgs import SGS
+from repro.eval.memory import sgs_bytes
+from repro.geometry.mbr import MBR
+from repro.index.feature_grid import FeatureGridIndex
+from repro.index.rtree import RTree
+
+#: Default feature-grid bin widths for (volume, core_count, avg_density,
+#: avg_connectivity). Bins only affect lookup speed, never results.
+DEFAULT_BIN_WIDTHS = (16.0, 8.0, 2.0, 1.0)
+
+
+class ArchivedPattern:
+    """One archived cluster: its SGS plus derived index keys."""
+
+    __slots__ = (
+        "pattern_id",
+        "sgs",
+        "features",
+        "mbr",
+        "window_index",
+        "full_size",
+    )
+
+    def __init__(
+        self,
+        pattern_id: int,
+        sgs: SGS,
+        full_size: int,
+    ):
+        self.pattern_id = pattern_id
+        self.sgs = sgs
+        self.features = ClusterFeatures.from_sgs(sgs)
+        self.mbr = sgs.mbr()
+        self.window_index = sgs.window_index
+        self.full_size = int(full_size)
+
+    def summary_bytes(self) -> int:
+        return sgs_bytes(self.sgs)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchivedPattern(id={self.pattern_id}, "
+            f"window={self.window_index}, cells={len(self.sgs)})"
+        )
+
+
+class PatternBase:
+    """Dual-indexed store of archived patterns."""
+
+    def __init__(self, bin_widths: Sequence[float] = DEFAULT_BIN_WIDTHS):
+        self._patterns: Dict[int, ArchivedPattern] = {}
+        self._next_id = 0
+        self._locational = RTree()
+        self._features = FeatureGridIndex(bin_widths)
+
+    def add(self, sgs: SGS, full_size: int) -> ArchivedPattern:
+        """Archive one summarized cluster; returns its stored form."""
+        pattern = ArchivedPattern(self._next_id, sgs, full_size)
+        self._next_id += 1
+        self._patterns[pattern.pattern_id] = pattern
+        self._locational.insert(pattern.mbr, pattern)
+        self._features.insert(pattern.features.as_tuple(), pattern)
+        return pattern
+
+    def remove(self, pattern_id: int) -> bool:
+        pattern = self._patterns.pop(pattern_id, None)
+        if pattern is None:
+            return False
+        self._locational.delete(pattern.mbr, pattern)
+        self._features.remove(pattern.features.as_tuple(), pattern)
+        return True
+
+    def get(self, pattern_id: int) -> Optional[ArchivedPattern]:
+        return self._patterns.get(pattern_id)
+
+    def overlapping(self, mbr: MBR) -> List[ArchivedPattern]:
+        """Locational-index lookup: patterns whose MBR intersects."""
+        return self._locational.search(mbr)
+
+    def in_feature_ranges(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> List[ArchivedPattern]:
+        """Non-locational-index lookup over the 4 feature ranges."""
+        return self._features.range_query(lows, highs)
+
+    def all_patterns(self) -> Iterator[ArchivedPattern]:
+        return iter(self._patterns.values())
+
+    def summary_bytes(self) -> int:
+        """Total serialized size of all archived summaries."""
+        return sum(p.summary_bytes() for p in self._patterns.values())
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, pattern_id: int) -> bool:
+        return pattern_id in self._patterns

@@ -1,0 +1,96 @@
+"""Durable storage for the Pattern Base.
+
+The paper treats the Pattern Base as the long-term "Stream History"; a
+history only deserves the name if it survives the process. This module
+persists an archive to a single binary file — a small header plus one
+length-prefixed :mod:`repro.core.serialize` blob per pattern (with its
+full-representation size) — and restores it with identical pattern ids,
+feature-index contents, and byte accounting.
+
+Format::
+
+    magic  b"SGSA"   | uint32 version | uint32 pattern count
+    per pattern: uint32 pattern_id | uint32 full_size |
+                 uint32 blob length | SGS blob
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.archive.pattern_base import ArchivedPattern, PatternBase
+from repro.core.serialize import sgs_from_bytes, sgs_to_bytes
+
+_MAGIC = b"SGSA"
+_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def dump_pattern_base(base: PatternBase, target: Union[PathLike, BinaryIO]) -> int:
+    """Write an archive to ``target`` (path or binary stream).
+
+    Returns the number of bytes written.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as handle:
+            return dump_pattern_base(base, handle)
+    written = 0
+    patterns = sorted(base.all_patterns(), key=lambda p: p.pattern_id)
+    header = _MAGIC + struct.pack("<II", _VERSION, len(patterns))
+    target.write(header)
+    written += len(header)
+    for pattern in patterns:
+        blob = sgs_to_bytes(pattern.sgs)
+        record = struct.pack(
+            "<III", pattern.pattern_id, pattern.full_size, len(blob)
+        )
+        target.write(record)
+        target.write(blob)
+        written += len(record) + len(blob)
+    return written
+
+
+def load_pattern_base(source: Union[PathLike, BinaryIO]) -> PatternBase:
+    """Read an archive written by :func:`dump_pattern_base`.
+
+    Pattern ids are preserved; the feature and locational indices are
+    rebuilt on load.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return load_pattern_base(handle)
+    header = source.read(len(_MAGIC) + 8)
+    if header[: len(_MAGIC)] != _MAGIC:
+        raise ValueError("not a Pattern Base archive file")
+    version, count = struct.unpack_from("<II", header, len(_MAGIC))
+    if version != _VERSION:
+        raise ValueError(f"unsupported archive version {version}")
+    base = PatternBase()
+    max_id = -1
+    for _ in range(count):
+        record = source.read(12)
+        if len(record) != 12:
+            raise ValueError("truncated archive: missing pattern record")
+        pattern_id, full_size, blob_length = struct.unpack("<III", record)
+        blob = source.read(blob_length)
+        if len(blob) != blob_length:
+            raise ValueError("truncated archive: missing SGS blob")
+        sgs = sgs_from_bytes(blob)
+        pattern = ArchivedPattern(pattern_id, sgs, full_size)
+        base._patterns[pattern_id] = pattern
+        base._locational.insert(pattern.mbr, pattern)
+        base._features.insert(pattern.features.as_tuple(), pattern)
+        max_id = max(max_id, pattern_id)
+    base._next_id = max_id + 1
+    return base
+
+
+def roundtrip_bytes(base: PatternBase) -> bytes:
+    """Serialize an archive to bytes (convenience for tests/tools)."""
+    buffer = io.BytesIO()
+    dump_pattern_base(base, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,217 @@
+"""Command-line interface: run queries, archive patterns, match clusters.
+
+Subcommands:
+
+* ``generate`` — write a synthetic stream (gmti / stt / blobs) to CSV;
+* ``run`` — execute a Continuous Clustering Query (textual template or
+  flags) over a CSV stream, print per-window cluster digests, and
+  optionally persist the resulting Pattern Base;
+* ``match`` — load a persisted Pattern Base and run a Cluster Matching
+  Query for a pattern id or an SGS JSON file;
+* ``show`` — render an archived pattern as ASCII art (2-D only).
+
+Examples::
+
+    python -m repro.cli generate --kind gmti --count 20000 --out stream.csv
+    python -m repro.cli run --input stream.csv --theta-range 2.5 \
+        --theta-count 8 --win 2000 --slide 500 --archive history.sgsa
+    python -m repro.cli match --archive history.sgsa --pattern 12 \
+        --threshold 0.25 --top 5
+    python -m repro.cli show --archive history.sgsa --pattern 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Iterator, List, Optional, Sequence
+
+from repro.archive.persistence import dump_pattern_base, load_pattern_base
+from repro.core.serialize import sgs_from_json, sgs_to_json
+from repro.data.gmti import GMTIStream
+from repro.data.stt import STTStream
+from repro.data.synthetic import DriftingBlobStream
+from repro.matching.metric import DistanceMetricSpec
+from repro.archive.analyzer import PatternAnalyzer
+from repro.streams.objects import StreamObject
+from repro.streams.windows import CountBasedWindowSpec, TimeBasedWindowSpec
+from repro.system.framework import StreamPatternMiningSystem
+
+
+def _write_csv(path: str, rows: Iterator[Sequence[float]]) -> int:
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in rows:
+            writer.writerow([f"{value:.6f}" for value in row])
+            count += 1
+    return count
+
+
+def _read_csv_objects(path: str, timestamp_column: Optional[int]) -> Iterator[StreamObject]:
+    with open(path, newline="") as handle:
+        for i, row in enumerate(csv.reader(handle)):
+            if not row:
+                continue
+            values = [float(v) for v in row]
+            if timestamp_column is not None:
+                timestamp = values.pop(timestamp_column)
+            else:
+                timestamp = None
+            yield StreamObject(i, tuple(values), timestamp)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "gmti":
+        rows = GMTIStream(seed=args.seed).points(args.count)
+    elif args.kind == "stt":
+        rows = STTStream(total_records=args.count, seed=args.seed).points(
+            args.count
+        )
+    else:
+        rows = DriftingBlobStream(seed=args.seed).points(args.count)
+    written = _write_csv(args.out, rows)
+    print(f"wrote {written} records to {args.out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    objects = list(_read_csv_objects(args.input, args.timestamp_column))
+    if not objects:
+        print("input stream is empty", file=sys.stderr)
+        return 1
+    dimensions = objects[0].dimensions
+    if args.time_based:
+        window = TimeBasedWindowSpec(args.win, args.slide)
+    else:
+        window = CountBasedWindowSpec(int(args.win), int(args.slide))
+    system = StreamPatternMiningSystem(
+        args.theta_range, args.theta_count, dimensions, window,
+        archive_level=args.level,
+    )
+    for output in system.run_steps(objects, max_windows=args.max_windows):
+        digest = ", ".join(
+            f"#{c.cluster_id}:{c.size}obj/{len(s)}cells"
+            for c, s in zip(output.clusters, output.summaries)
+        )
+        print(f"window {output.window_index}: {digest or 'no clusters'}")
+    print(f"archived {system.archived_count} patterns")
+    if args.archive:
+        written = dump_pattern_base(system.pattern_base, args.archive)
+        print(f"persisted pattern base to {args.archive} ({written} bytes)")
+    return 0
+
+
+def _metric_from_args(args: argparse.Namespace) -> DistanceMetricSpec:
+    return DistanceMetricSpec(position_sensitive=args.position_sensitive)
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    base = load_pattern_base(args.archive)
+    if args.pattern is not None:
+        pattern = base.get(args.pattern)
+        if pattern is None:
+            print(f"no pattern {args.pattern} in archive", file=sys.stderr)
+            return 1
+        query = pattern.sgs
+    elif args.query_json:
+        with open(args.query_json) as handle:
+            query = sgs_from_json(handle.read())
+    else:
+        print("need --pattern or --query-json", file=sys.stderr)
+        return 1
+    analyzer = PatternAnalyzer(base, _metric_from_args(args))
+    results, stats = analyzer.match(
+        query, args.threshold, top_k=args.top
+    )
+    print(
+        f"archive {len(base)}, index candidates {stats.index_candidates}, "
+        f"refined {stats.refined}, matches {stats.matches}"
+    )
+    for rank, result in enumerate(results, start=1):
+        print(
+            f"#{rank}: pattern {result.pattern.pattern_id} "
+            f"(window {result.pattern.window_index}) distance "
+            f"{result.distance:.4f}"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    base = load_pattern_base(args.archive)
+    pattern = base.get(args.pattern)
+    if pattern is None:
+        print(f"no pattern {args.pattern} in archive", file=sys.stderr)
+        return 1
+    if args.json:
+        print(sgs_to_json(pattern.sgs))
+        return 0
+    from repro.viz.ascii_art import render_sgs
+
+    print(
+        f"pattern {pattern.pattern_id}: window {pattern.window_index}, "
+        f"{len(pattern.sgs)} cells, population {pattern.sgs.population}"
+    )
+    print(render_sgs(pattern.sgs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Density-based cluster summarization and matching "
+        "over streams (SGS / C-SGS)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic stream CSV")
+    generate.add_argument(
+        "--kind", choices=("gmti", "stt", "blobs"), default="blobs"
+    )
+    generate.add_argument("--count", type=int, default=10000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    run = sub.add_parser("run", help="run a continuous clustering query")
+    run.add_argument("--input", required=True, help="CSV of coordinates")
+    run.add_argument("--theta-range", type=float, required=True)
+    run.add_argument("--theta-count", type=int, required=True)
+    run.add_argument("--win", type=float, required=True)
+    run.add_argument("--slide", type=float, required=True)
+    run.add_argument("--time-based", action="store_true")
+    run.add_argument(
+        "--timestamp-column", type=int, default=None,
+        help="CSV column holding event time (time-based windows)",
+    )
+    run.add_argument("--level", type=int, default=0, help="archive resolution")
+    run.add_argument("--max-windows", type=int, default=None)
+    run.add_argument("--archive", default=None, help="persist pattern base")
+    run.set_defaults(func=_cmd_run)
+
+    match = sub.add_parser("match", help="run a cluster matching query")
+    match.add_argument("--archive", required=True)
+    match.add_argument("--pattern", type=int, default=None)
+    match.add_argument("--query-json", default=None)
+    match.add_argument("--threshold", type=float, default=0.25)
+    match.add_argument("--top", type=int, default=5)
+    match.add_argument("--position-sensitive", action="store_true")
+    match.set_defaults(func=_cmd_match)
+
+    show = sub.add_parser("show", help="display an archived pattern")
+    show.add_argument("--archive", required=True)
+    show.add_argument("--pattern", type=int, required=True)
+    show.add_argument("--json", action="store_true")
+    show.set_defaults(func=_cmd_show)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Density-based clustering substrate: definitions, DBSCAN, Extra-N."""
+
+from repro.clustering.cluster import Cluster, partition_signature
+from repro.clustering.dbscan import dbscan
+from repro.clustering.extra_n import ExtraN
+from repro.clustering.naive import NaiveWindowClusterer
+
+__all__ = [
+    "Cluster",
+    "ExtraN",
+    "NaiveWindowClusterer",
+    "dbscan",
+    "partition_signature",
+]

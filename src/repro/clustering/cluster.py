@@ -1,0 +1,89 @@
+"""The *full representation* of a density-based cluster (Section 3.1).
+
+A cluster is a maximal group of connected core objects plus the edge
+objects attached to them; the full representation is simply all member
+objects tagged with a cluster identifier. Per Definition 3.1 an edge
+object neighboring core objects of several clusters belongs to each of
+them, so cluster member sets may overlap on edge objects (this matches
+the cell-level membership rule C-SGS uses and makes cross-algorithm
+equality checks exact).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.streams.objects import StreamObject
+
+
+class Cluster:
+    """Full representation of one density-based cluster."""
+
+    __slots__ = ("cluster_id", "core_objects", "edge_objects", "window_index")
+
+    def __init__(
+        self,
+        cluster_id: int,
+        core_objects: Sequence[StreamObject],
+        edge_objects: Sequence[StreamObject],
+        window_index: int = -1,
+    ):
+        self.cluster_id = cluster_id
+        self.core_objects: List[StreamObject] = list(core_objects)
+        self.edge_objects: List[StreamObject] = list(edge_objects)
+        self.window_index = window_index
+
+    @property
+    def members(self) -> List[StreamObject]:
+        """All member objects (core first, then edge)."""
+        return self.core_objects + self.edge_objects
+
+    @property
+    def size(self) -> int:
+        return len(self.core_objects) + len(self.edge_objects)
+
+    def member_oids(self) -> FrozenSet[int]:
+        return frozenset(obj.oid for obj in self.members)
+
+    def core_oids(self) -> FrozenSet[int]:
+        return frozenset(obj.oid for obj in self.core_objects)
+
+    def mbr(self) -> MBR:
+        """Minimum bounding rectangle of the member objects."""
+        return MBR.from_points(obj.coords for obj in self.members)
+
+    def centroid(self) -> Tuple[float, ...]:
+        members = self.members
+        dims = members[0].dimensions
+        sums = [0.0] * dims
+        for obj in members:
+            for i, value in enumerate(obj.coords):
+                sums[i] += value
+        return tuple(total / len(members) for total in sums)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(id={self.cluster_id}, cores={len(self.core_objects)}, "
+            f"edges={len(self.edge_objects)}, window={self.window_index})"
+        )
+
+
+def partition_signature(
+    clusters: Iterable[Cluster],
+) -> FrozenSet[FrozenSet[int]]:
+    """Canonical, order-independent signature of a clustering result.
+
+    Two clustering algorithms agree on a window exactly when their
+    signatures are equal — used by the correctness tests comparing C-SGS,
+    Extra-N, and per-window DBSCAN.
+    """
+    return frozenset(cluster.member_oids() for cluster in clusters)
+
+
+def core_signature(clusters: Iterable[Cluster]) -> FrozenSet[FrozenSet[int]]:
+    """Signature restricted to core members (edge attachment excluded)."""
+    return frozenset(cluster.core_oids() for cluster in clusters)

@@ -1,0 +1,89 @@
+"""Shared execution of multiple clustering queries over one stream.
+
+The paper's lineage includes a shared execution strategy for multiple
+density-based pattern mining requests (Yang et al., PVLDB 2009, cited as
+[17]); this module provides the analogous capability for C-SGS: several
+Continuous Clustering Queries that agree on θr and the window spec but
+differ in θc are answered with **one grid index and one range query per
+new object**, instead of one per query. Since the range-query search
+dominates insertion cost, k co-executing queries cost far less than k
+independent pipelines (ablation E9 quantifies it).
+
+Correctness is unchanged: each member query maintains its own careers,
+cell lifespans, and output (tested equal to an independent C-SGS run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.core.csgs import CSGS, WindowOutput
+from repro.index.grid_index import GridIndex
+from repro.streams.objects import StreamObject
+from repro.streams.windows import WindowBatch
+
+
+class SharedCSGS:
+    """Co-execute several C-SGS queries differing only in θc."""
+
+    def __init__(
+        self,
+        theta_range: float,
+        theta_counts: Sequence[int],
+        dimensions: int,
+    ):
+        if not theta_counts:
+            raise ValueError("need at least one theta_count")
+        if len(set(theta_counts)) != len(theta_counts):
+            raise ValueError("theta_counts must be distinct")
+        self.theta_range = float(theta_range)
+        self.theta_counts = tuple(int(c) for c in theta_counts)
+        self.dimensions = int(dimensions)
+        self.grid = GridIndex(theta_range, dimensions)
+        self.members: Dict[int, CSGS] = {
+            count: CSGS(
+                theta_range,
+                count,
+                dimensions,
+                grid=self.grid,
+                manage_grid=False,
+            )
+            for count in self.theta_counts
+        }
+        self.current_window = 0
+        self._expiry_buckets: Dict[int, List[StreamObject]] = {}
+        self.range_queries_run = 0
+
+    def _purge(self, window_index: int) -> None:
+        for window in range(self.current_window, window_index):
+            for obj in self._expiry_buckets.pop(window, ()):
+                self.grid.remove(obj)
+        self.current_window = window_index
+
+    def process_batch(self, batch: WindowBatch) -> Dict[int, WindowOutput]:
+        """Process one slide for every member query.
+
+        Returns ``{theta_count: WindowOutput}``.
+        """
+        self._purge(batch.index)
+        for member in self.members.values():
+            member.begin_window(batch.index)
+        for obj in batch.new_objects:
+            self.grid.insert(obj)
+            self._expiry_buckets.setdefault(obj.last_window, []).append(obj)
+            neighbors = self.grid.range_query(
+                obj.coords, exclude_oid=obj.oid
+            )
+            self.range_queries_run += 1
+            for member in self.members.values():
+                member.ingest(obj, neighbors)
+        return {
+            count: member.emit(batch.index)
+            for count, member in self.members.items()
+        }
+
+    def process(
+        self, batches: Iterable[WindowBatch]
+    ) -> Iterator[Dict[int, WindowOutput]]:
+        for batch in batches:
+            yield self.process_batch(batch)

@@ -1,0 +1,90 @@
+"""Declarative query specifications (Figures 2 and 3).
+
+These dataclasses mirror the paper's query templates so applications can
+describe a workload once and hand it to the framework:
+
+* :class:`ContinuousClusteringQuery` —
+  ``DETECT DensityBasedClusters(f+s) FROM stream USING θrange, θcnt
+  IN Windows WITH win AND slide``
+* :class:`ClusterMatchingQuery` —
+  ``GIVEN cluster SELECT clusters FROM History
+  WHERE Distance <= sim_threshold``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.matching.metric import DistanceMetricSpec
+from repro.streams.windows import (
+    CountBasedWindowSpec,
+    TimeBasedWindowSpec,
+    WindowSpec,
+)
+
+
+@dataclass
+class ContinuousClusteringQuery:
+    """A continuous cluster extraction query (Figure 2)."""
+
+    theta_range: float
+    theta_count: int
+    dimensions: int
+    window: WindowSpec
+
+    def __post_init__(self) -> None:
+        if self.theta_range <= 0:
+            raise ValueError("theta_range must be positive")
+        if self.theta_count < 1:
+            raise ValueError("theta_count must be at least 1")
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be at least 1")
+
+    @classmethod
+    def count_based(
+        cls,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        win: int,
+        slide: int,
+    ) -> "ContinuousClusteringQuery":
+        return cls(
+            theta_range,
+            theta_count,
+            dimensions,
+            CountBasedWindowSpec(win, slide),
+        )
+
+    @classmethod
+    def time_based(
+        cls,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        win: float,
+        slide: float,
+        origin: float = 0.0,
+    ) -> "ContinuousClusteringQuery":
+        return cls(
+            theta_range,
+            theta_count,
+            dimensions,
+            TimeBasedWindowSpec(win, slide, origin),
+        )
+
+
+@dataclass
+class ClusterMatchingQuery:
+    """A cluster matching query (Figure 3)."""
+
+    sim_threshold: float
+    metric: DistanceMetricSpec = field(default_factory=DistanceMetricSpec)
+    top_k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sim_threshold <= 1:
+            raise ValueError("sim_threshold must be in [0, 1]")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be positive when given")

@@ -1,0 +1,358 @@
+"""C-SGS: integrated cluster extraction + summarization (Section 5).
+
+C-SGS maintains the skeletal grid cells of the data space incrementally
+across window slides. Cell *statuses* and cell *connections* carry
+lifespans (Lemmas 5.1/5.2) pre-computed at insertion time, so expiration
+needs no maintenance work: a status or connection simply stops being
+valid once the window index passes its recorded lifespan.
+
+Per window, the output stage runs a depth-first search over the currently
+core cells (vertices) and currently valid connections (edges), collects
+the attached edge cells, and emits each connected group as one cluster —
+simultaneously in summarized form (:class:`~repro.core.sgs.SGS`) and in
+full representation (:class:`~repro.clustering.cluster.Cluster`), the
+latter derived from the objects stored in the group's cells.
+
+State kept beyond the raw window contents:
+
+* ``_cell_core_until[coord]`` — Lemma 5.1: the max core-career end over
+  the cell's objects (monotone per event; self-correcting once the
+  contributing object expires, since careers never outlive objects);
+* ``_core_connections[(a, b)]`` — Lemma 5.2: last window in which core
+  cells ``a`` and ``b`` are directly connected (some core-object pair,
+  one in each, are neighbors);
+* ``_edge_attachments[(a, b)]`` — last window in which some object in
+  cell ``a`` is attached to a core object in core cell ``b``.
+
+All three maps are updated by exactly two event kinds from the
+:class:`~repro.core.lifespan.NeighborhoodTracker`: new-object insertion
+(the object's own careers vs. each of its neighbors) and core-career
+extension of an existing object (replayed against its non-core-career
+neighbor list). This is the paper's "piggy-backed" summarization: no
+extra range queries, no per-view cluster maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.clustering.cluster import Cluster
+from repro.core.cells import CellStatus, SkeletalGridCell
+from repro.core.lifespan import NeighborhoodTracker, ObjectState
+from repro.core.sgs import SGS
+from repro.streams.windows import WindowBatch
+
+Coord = Tuple[int, ...]
+PairKey = Tuple[Coord, Coord]
+
+
+def _pair_key(a: Coord, b: Coord) -> PairKey:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class WindowOutput:
+    """Result of one window: clusters in both representations.
+
+    ``clusters[i]`` and ``summaries[i]`` describe the same cluster.
+    """
+
+    window_index: int
+    clusters: List[Cluster] = field(default_factory=list)
+    summaries: List[SGS] = field(default_factory=list)
+
+
+class CSGS:
+    """Integrated density-based cluster extraction + SGS summarization."""
+
+    def __init__(
+        self,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        grid=None,
+        manage_grid: bool = True,
+    ):
+        self.theta_range = float(theta_range)
+        self.theta_count = int(theta_count)
+        self.dimensions = int(dimensions)
+        self.tracker = NeighborhoodTracker(
+            theta_range,
+            theta_count,
+            dimensions,
+            on_insert=self._handle_insert,
+            on_extension=self._handle_extension,
+            grid=grid,
+            manage_grid=manage_grid,
+        )
+        self._cell_core_until: Dict[Coord, int] = {}
+        self._core_connections: Dict[PairKey, int] = {}
+        self._edge_attachments: Dict[PairKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Event handlers (insertion-time lifespan maintenance)
+    # ------------------------------------------------------------------
+
+    def _handle_insert(
+        self, state: ObjectState, neighbors: List[ObjectState]
+    ) -> None:
+        window = self.tracker.current_window
+        if state.core_until >= window:
+            cell = state.cell
+            if state.core_until > self._cell_core_until.get(cell, -1):
+                self._cell_core_until[cell] = state.core_until
+        for nb in neighbors:
+            if nb.cell != state.cell:
+                self._record_pair(state, nb)
+
+    def _handle_extension(
+        self,
+        state: ObjectState,
+        old_core_until: int,
+        new_core_until: int,
+        snapshot: List[ObjectState],
+    ) -> None:
+        del old_core_until  # superseded values need no replay of their own
+        window = self.tracker.current_window
+        cell = state.cell
+        if new_core_until > self._cell_core_until.get(cell, -1):
+            self._cell_core_until[cell] = new_core_until
+        for other in snapshot:
+            if other.obj.last_window < window or other.cell == cell:
+                continue
+            # Core-core connection: both careers and the neighborship.
+            conn = min(new_core_until, other.core_until)
+            if conn >= window:
+                key = _pair_key(cell, other.cell)
+                if conn > self._core_connections.get(key, -1):
+                    self._core_connections[key] = conn
+            # Edge attachment of the neighbor's cell to this core cell.
+            attach = min(other.obj.last_window, new_core_until)
+            if attach >= window:
+                key = (other.cell, cell)
+                if attach > self._edge_attachments.get(key, -1):
+                    self._edge_attachments[key] = attach
+
+    def _record_pair(self, a: ObjectState, b: ObjectState) -> None:
+        """Record connection/attachment lifespans implied by a new
+        neighbor pair (a just arrived, b preexisting, different cells)."""
+        window = self.tracker.current_window
+        conn = min(a.core_until, b.core_until)
+        if conn >= window:
+            key = _pair_key(a.cell, b.cell)
+            if conn > self._core_connections.get(key, -1):
+                self._core_connections[key] = conn
+        attach_ab = min(a.obj.last_window, b.core_until)
+        if attach_ab >= window:
+            key = (a.cell, b.cell)
+            if attach_ab > self._edge_attachments.get(key, -1):
+                self._edge_attachments[key] = attach_ab
+        attach_ba = min(b.obj.last_window, a.core_until)
+        if attach_ba >= window:
+            key = (b.cell, a.cell)
+            if attach_ba > self._edge_attachments.get(key, -1):
+                self._edge_attachments[key] = attach_ba
+
+    # ------------------------------------------------------------------
+    # Window processing
+    # ------------------------------------------------------------------
+
+    def begin_window(self, window_index: int) -> None:
+        """Slide to ``window_index``: purge expired state and lifespans."""
+        self.tracker.advance_to(window_index)
+        self._prune(window_index)
+
+    def ingest(self, obj, neighbor_objs=None):
+        """Insert one object (optionally with pre-computed neighbors, for
+        shared multi-query execution)."""
+        return self.tracker.insert(obj, neighbor_objs)
+
+    def emit(self, window_index: int) -> WindowOutput:
+        """Emit the current window's clusters in both representations."""
+        return self._emit(window_index)
+
+    def process_batch(self, batch: WindowBatch) -> WindowOutput:
+        """Slide to the batch's window, insert its tuples, emit output."""
+        self.begin_window(batch.index)
+        for obj in batch.new_objects:
+            self.tracker.insert(obj)
+        return self._emit(batch.index)
+
+    def process(self, batches: Iterable[WindowBatch]) -> Iterator[WindowOutput]:
+        for batch in batches:
+            yield self.process_batch(batch)
+
+    def _prune(self, window: int) -> None:
+        """Drop lifespan entries that ended before ``window``."""
+        self._cell_core_until = {
+            coord: until
+            for coord, until in self._cell_core_until.items()
+            if until >= window
+        }
+        self._core_connections = {
+            key: until
+            for key, until in self._core_connections.items()
+            if until >= window
+        }
+        self._edge_attachments = {
+            key: until
+            for key, until in self._edge_attachments.items()
+            if until >= window
+        }
+
+    # ------------------------------------------------------------------
+    # Output stage (Section 5.4)
+    # ------------------------------------------------------------------
+
+    def _emit(self, window: int) -> WindowOutput:
+        grid = self.tracker.grid
+        states = self.tracker.states
+
+        core_cells: Set[Coord] = {
+            coord
+            for coord, until in self._cell_core_until.items()
+            if until >= window and grid.cell_population(coord) > 0
+        }
+
+        # Depth-first search over currently connected core cells.
+        adjacency: Dict[Coord, List[Coord]] = {coord: [] for coord in core_cells}
+        for (a, b), until in self._core_connections.items():
+            if until >= window and a in core_cells and b in core_cells:
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+        group_of: Dict[Coord, int] = {}
+        group_cores: List[List[Coord]] = []
+        for coord in core_cells:
+            if coord in group_of:
+                continue
+            group_id = len(group_cores)
+            members = []
+            stack = [coord]
+            group_of[coord] = group_id
+            while stack:
+                node = stack.pop()
+                members.append(node)
+                for neighbor in adjacency[node]:
+                    if neighbor not in group_of:
+                        group_of[neighbor] = group_id
+                        stack.append(neighbor)
+            group_cores.append(members)
+
+        # Candidate edge cells from currently valid attachments. Note the
+        # core/edge status of a cell is per cluster (Definition 4.2): a
+        # cell that is core for cluster P can simultaneously be an edge
+        # cell of cluster Q when one of its non-core objects is attached
+        # to a core object of Q — so core cells attached across groups
+        # are candidates too.
+        edge_candidates: Set[Coord] = set()
+        for (edge_coord, core_coord), until in self._edge_attachments.items():
+            if until < window or core_coord not in core_cells:
+                continue
+            if edge_coord in core_cells and (
+                group_of[edge_coord] == group_of[core_coord]
+            ):
+                continue
+            if grid.cell_population(edge_coord) > 0:
+                edge_candidates.add(edge_coord)
+
+        # Per-group edge members, resolved through the objects'
+        # non-core-career neighbor lists (no range queries).
+        n_groups = len(group_cores)
+        group_edge_members: List[Dict[int, ObjectState]] = [
+            {} for _ in range(n_groups)
+        ]
+        group_edge_cells: List[Dict[Coord, int]] = [{} for _ in range(n_groups)]
+        for edge_coord in edge_candidates:
+            own_group = group_of.get(edge_coord)
+            for obj in grid.objects_in_cell(edge_coord):
+                state = states[obj.oid]
+                if state.core_until >= window:
+                    continue  # core objects belong only to their own group
+                touched: Set[int] = set()
+                for core_state in state.attached_cores_in(window):
+                    group_id = group_of.get(core_state.cell)
+                    if group_id is not None and group_id != own_group:
+                        touched.add(group_id)
+                for group_id in touched:
+                    group_edge_members[group_id][state.oid] = state
+                    cells = group_edge_cells[group_id]
+                    cells[edge_coord] = cells.get(edge_coord, 0) + 1
+
+        side = grid.side
+        clusters: List[Cluster] = []
+        summaries: List[SGS] = []
+        for group_id, cores in enumerate(group_cores):
+            core_objects: List = []
+            edge_objects: List = []
+            core_set = set(cores)
+            for coord in cores:
+                for obj in grid.objects_in_cell(coord):
+                    if states[obj.oid].core_until >= window:
+                        core_objects.append(obj)
+                    else:
+                        edge_objects.append(obj)
+            for state in group_edge_members[group_id].values():
+                edge_objects.append(state.obj)
+            clusters.append(
+                Cluster(group_id, core_objects, edge_objects, window)
+            )
+
+            cells: List[SkeletalGridCell] = []
+            attached_cells = group_edge_cells[group_id]
+            for coord in cores:
+                connections = set(
+                    neighbor
+                    for neighbor in adjacency[coord]
+                    if neighbor in core_set
+                )
+                for edge_coord in attached_cells:
+                    until = self._edge_attachments.get((edge_coord, coord), -1)
+                    if until >= window:
+                        connections.add(edge_coord)
+                cells.append(
+                    SkeletalGridCell(
+                        coord,
+                        side,
+                        grid.cell_population(coord),
+                        CellStatus.CORE,
+                        frozenset(connections),
+                    )
+                )
+            for edge_coord, member_count in attached_cells.items():
+                cells.append(
+                    SkeletalGridCell(
+                        edge_coord,
+                        side,
+                        member_count,
+                        CellStatus.EDGE,
+                        frozenset(),
+                    )
+                )
+            summaries.append(
+                SGS(cells, side, level=0, cluster_id=group_id, window_index=window)
+            )
+
+        return WindowOutput(window, clusters, summaries)
+
+    # ------------------------------------------------------------------
+    # Introspection for memory accounting
+    # ------------------------------------------------------------------
+
+    def state_sizes(self) -> Dict[str, int]:
+        """Entry counts of the maintained meta-data (for memory models)."""
+        hist_entries = sum(
+            len(state.neighbor_hist) for state in self.tracker.states.values()
+        )
+        noncore_entries = sum(
+            len(state.noncore_neighbors)
+            for state in self.tracker.states.values()
+        )
+        return {
+            "objects": len(self.tracker.states),
+            "hist_entries": hist_entries,
+            "noncore_entries": noncore_entries,
+            "cells": len(self._cell_core_until),
+            "core_connections": len(self._core_connections),
+            "edge_attachments": len(self._edge_attachments),
+        }

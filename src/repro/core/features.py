@@ -1,0 +1,52 @@
+"""Cluster feature vectors for the non-locational feature index.
+
+Section 7.1 organizes archived clusters along four non-locational
+features captured by SGS: volume (number of skeletal grid cells), status
+count (number of core cells), average density, and average connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.sgs import SGS
+
+FEATURE_NAMES: Tuple[str, ...] = (
+    "volume",
+    "core_count",
+    "avg_density",
+    "avg_connectivity",
+)
+
+
+@dataclass(frozen=True)
+class ClusterFeatures:
+    """The four non-locational features of one summarized cluster."""
+
+    volume: float
+    core_count: float
+    avg_density: float
+    avg_connectivity: float
+
+    @classmethod
+    def from_sgs(cls, sgs: SGS) -> "ClusterFeatures":
+        return cls(
+            volume=float(sgs.volume),
+            core_count=float(sgs.core_count),
+            avg_density=sgs.average_density(),
+            avg_connectivity=sgs.average_connectivity(),
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (
+            self.volume,
+            self.core_count,
+            self.avg_density,
+            self.avg_connectivity,
+        )
+
+    def __getitem__(self, name: str) -> float:
+        if name not in FEATURE_NAMES:
+            raise KeyError(name)
+        return getattr(self, name)

@@ -1,0 +1,295 @@
+"""Lifespan analysis over sliding windows (Section 5.3).
+
+In periodic sliding windows the lifespan of every object — and therefore
+of every neighborship — is deterministic the moment the object arrives
+(Observations 5.2/5.3). This module implements the paper's consequence of
+that fact: *all* expiration effects are pre-computed at insertion time, so
+window slides cost nothing beyond dropping expired objects.
+
+The :class:`NeighborhoodTracker` maintains, per alive object:
+
+* the **neighbor-expiry histogram** — a count of the object's neighbors
+  keyed by the neighbors' last windows. The θc-th largest key is exactly
+  ``win_θc_nei`` of Observation 5.4, giving the object's core-career end
+  (``core_until``) in O(distinct keys).
+* ``core_until`` — the last window (inclusive) in which the object is a
+  core object, given everything known so far. It can only grow, and only
+  when a new neighbor arrives (a *status prolong / promotion*, Figure 6).
+* the **non-core-career neighbor list** (Section 5.3, auxiliary
+  meta-data) — the neighbors whose neighborship outlives the object's
+  core career. Its size is bounded by θc (otherwise the object would
+  still be core), and it is exactly the information needed to (a) attach
+  edge objects to clusters without re-running range queries and (b)
+  propagate core-career extensions to cell connections / cluster views.
+
+Consumers (C-SGS, Extra-N) subscribe via two callbacks:
+
+* ``on_insert(state, neighbor_states)`` — after a new object's careers
+  and its neighbors' careers are fully updated;
+* ``on_extension(state, old_core_until, new_core_until, snapshot)`` —
+  when an existing object's core career is promoted/prolonged, with a
+  snapshot of its non-core-career neighbor list taken *before* pruning
+  (the pairs whose joint careers may have been extended).
+
+Exactly one range query runs per inserted object, matching the paper's
+"minimum number of range query searches" guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.index.grid_index import GridIndex
+from repro.streams.objects import StreamObject
+
+Coord = Tuple[int, ...]
+
+# Sentinel meaning "not core in any window known so far".
+NEVER_CORE = -1
+
+
+class ObjectState:
+    """Lifespan bookkeeping for one alive stream object."""
+
+    __slots__ = ("obj", "cell", "neighbor_hist", "core_until", "noncore_neighbors")
+
+    def __init__(self, obj: StreamObject, cell: Coord):
+        self.obj = obj
+        self.cell = cell
+        # {neighbor_last_window: count of such neighbors}
+        self.neighbor_hist: Dict[int, int] = {}
+        self.core_until: int = NEVER_CORE
+        # Neighbors whose neighborship outlives this object's core career.
+        self.noncore_neighbors: List["ObjectState"] = []
+
+    @property
+    def oid(self) -> int:
+        return self.obj.oid
+
+    @property
+    def last_window(self) -> int:
+        return self.obj.last_window
+
+    def alive_in(self, window_index: int) -> bool:
+        return self.obj.last_window >= window_index
+
+    def is_core_in(self, window_index: int) -> bool:
+        return self.core_until >= window_index
+
+    def compute_core_until(self, window_index: int, theta_count: int) -> int:
+        """Recompute the core-career end from the neighbor histogram.
+
+        Returns the largest window ``w`` (capped at the object's own last
+        window) such that at least θc neighbors are alive in ``w``, or
+        :data:`NEVER_CORE` when fewer than θc neighbors are alive in the
+        current window. Histogram keys before ``window_index`` are pruned
+        as a side effect (those neighbors have expired).
+        """
+        hist = self.neighbor_hist
+        stale = [key for key in hist if key < window_index]
+        for key in stale:
+            del hist[key]
+        remaining = theta_count
+        for key in sorted(hist, reverse=True):
+            remaining -= hist[key]
+            if remaining <= 0:
+                return min(key, self.obj.last_window)
+        return NEVER_CORE
+
+    def is_edge_in(self, window_index: int) -> bool:
+        """True when the object is an edge object in ``window_index``.
+
+        Observation 5.4: an object is an edge object after (or instead of)
+        its core career while at least one of its non-core-career
+        neighbors is still a core object. Expired entries are pruned
+        lazily here.
+        """
+        if self.core_until >= window_index:
+            return False
+        live = [
+            nb
+            for nb in self.noncore_neighbors
+            if nb.obj.last_window >= window_index
+        ]
+        if len(live) != len(self.noncore_neighbors):
+            self.noncore_neighbors = live
+        return any(nb.core_until >= window_index for nb in live)
+
+    def attached_cores_in(self, window_index: int) -> List["ObjectState"]:
+        """The core objects this (edge) object is attached to at a window."""
+        return [
+            nb
+            for nb in self.noncore_neighbors
+            if nb.obj.last_window >= window_index
+            and nb.core_until >= window_index
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectState(oid={self.oid}, cell={self.cell}, "
+            f"core_until={self.core_until})"
+        )
+
+
+InsertCallback = Callable[[ObjectState, List[ObjectState]], None]
+ExtensionCallback = Callable[[ObjectState, int, int, List[ObjectState]], None]
+
+
+class NeighborhoodTracker:
+    """Shared incremental neighborhood/career maintenance.
+
+    Drives the grid index, the per-object lifespan state, and the
+    promotion/prolong event stream that both C-SGS (cell statuses and
+    connections) and Extra-N (predicted cluster-membership views) consume.
+    """
+
+    def __init__(
+        self,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        on_insert: Optional[InsertCallback] = None,
+        on_extension: Optional[ExtensionCallback] = None,
+        grid: Optional[GridIndex] = None,
+        manage_grid: bool = True,
+    ):
+        if theta_count < 1:
+            raise ValueError("theta_count must be at least 1")
+        self.theta_range = float(theta_range)
+        self.theta_count = int(theta_count)
+        self.dimensions = int(dimensions)
+        # A grid may be shared across trackers (multi-query execution);
+        # then exactly one owner manages insert/remove on it.
+        self.grid = grid if grid is not None else GridIndex(
+            theta_range, dimensions
+        )
+        self.manage_grid = manage_grid
+        self.states: Dict[int, ObjectState] = {}
+        self.current_window = 0
+        self._expiry_buckets: Dict[int, List[ObjectState]] = {}
+        self._on_insert = on_insert
+        self._on_extension = on_extension
+
+    # ------------------------------------------------------------------
+    # Window progression
+    # ------------------------------------------------------------------
+
+    def advance_to(self, window_index: int) -> int:
+        """Move to ``window_index``, purging expired objects.
+
+        Returns the number of objects expired. This — bucket removal — is
+        the *only* expiration-time work, per the lifespan design.
+        """
+        if window_index < self.current_window:
+            raise ValueError("windows must advance monotonically")
+        expired = 0
+        for window in range(self.current_window, window_index):
+            bucket = self._expiry_buckets.pop(window, None)
+            if not bucket:
+                continue
+            for state in bucket:
+                del self.states[state.oid]
+                if self.manage_grid:
+                    self.grid.remove(state.obj)
+                expired += 1
+        self.current_window = window_index
+        return expired
+
+    # ------------------------------------------------------------------
+    # Insertion (Section 5.4, "Handling Insertions")
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        obj: StreamObject,
+        neighbor_objs: Optional[List[StreamObject]] = None,
+    ) -> ObjectState:
+        """Insert a new object: one range query, then career updates.
+
+        ``neighbor_objs`` lets a multi-query coordinator inject the
+        shared range-query result (the object must then already be in
+        the shared grid); by default the tracker runs the query itself.
+        """
+        if obj.last_window < self.current_window:
+            raise ValueError(
+                f"object {obj.oid} is already expired at window "
+                f"{self.current_window}"
+            )
+        window = self.current_window
+        theta_count = self.theta_count
+        if neighbor_objs is None:
+            if not self.manage_grid:
+                raise ValueError(
+                    "a tracker on a shared grid needs neighbors injected"
+                )
+            cell = self.grid.insert(obj)
+            neighbor_objs = self.grid.range_query(
+                obj.coords, exclude_oid=obj.oid
+            )
+        else:
+            cell = self.grid.cell_coord(obj.coords)
+        state = ObjectState(obj, cell)
+        self.states[obj.oid] = state
+        self._expiry_buckets.setdefault(obj.last_window, []).append(state)
+
+        neighbors = [self.states[nb.oid] for nb in neighbor_objs]
+
+        # New object's own careers.
+        hist = state.neighbor_hist
+        for nb in neighbors:
+            key = nb.obj.last_window
+            hist[key] = hist.get(key, 0) + 1
+        state.core_until = state.compute_core_until(window, theta_count)
+        threshold = max(state.core_until, window - 1)
+        state.noncore_neighbors = [
+            nb
+            for nb in neighbors
+            if min(obj.last_window, nb.obj.last_window) > threshold
+        ]
+
+        # Impact on existing neighbors: status promotion / prolong.
+        for nb in neighbors:
+            nb_hist = nb.neighbor_hist
+            key = obj.last_window
+            nb_hist[key] = nb_hist.get(key, 0) + 1
+            old = nb.core_until
+            new = nb.compute_core_until(window, theta_count)
+            if new > old:
+                nb.core_until = new
+                snapshot = list(nb.noncore_neighbors)
+                if self._on_extension is not None:
+                    self._on_extension(nb, old, new, snapshot)
+                nb.noncore_neighbors = [
+                    other
+                    for other in nb.noncore_neighbors
+                    if other.obj.last_window >= window
+                    and min(nb.obj.last_window, other.obj.last_window) > new
+                ]
+            if min(nb.obj.last_window, obj.last_window) > max(
+                nb.core_until, window - 1
+            ):
+                nb.noncore_neighbors.append(state)
+
+        if self._on_insert is not None:
+            self._on_insert(state, neighbors)
+        return state
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def alive_states(self) -> Iterator[ObjectState]:
+        return iter(self.states.values())
+
+    def alive_objects(self) -> List[StreamObject]:
+        return [state.obj for state in self.states.values()]
+
+    def state_of(self, oid: int) -> ObjectState:
+        return self.states[oid]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def insert_batch(self, objects: Iterable[StreamObject]) -> None:
+        for obj in objects:
+            self.insert(obj)

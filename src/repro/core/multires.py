@@ -1,0 +1,109 @@
+"""Multi-resolution SGS compression (Section 6.1).
+
+The Basic SGS emitted by the Pattern Extractor is at Level 0 (finest
+cells, diagonal = θr). A Level-n SGS combines every θ-sized hypercube of
+Level n-1 cells into one coarser skeletal grid cell, in a single scan:
+
+* side length multiplies by θ;
+* a coarse cell is core when any covered finer cell is core;
+* population is the sum of covered populations;
+* a coarse connection exists between two coarse cells when any covered
+  boundary cells of the finer level are connected across them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.cells import CellStatus, Coord, SkeletalGridCell
+from repro.core.sgs import SGS
+
+
+def _parent_coord(coord: Coord, factor: int) -> Coord:
+    # Python's floor division handles negative grid coordinates correctly.
+    return tuple(c // factor for c in coord)
+
+
+def coarsen_sgs(sgs: SGS, factor: int = 3) -> SGS:
+    """Build the next-coarser resolution level of an SGS.
+
+    ``factor`` is the compression rate θ: each coarse cell covers a
+    θ-sized hypercube of finer cells. Runs in one scan of the finer cells.
+    """
+    if factor < 2:
+        raise ValueError("compression factor must be at least 2")
+
+    populations: Dict[Coord, int] = {}
+    statuses: Dict[Coord, CellStatus] = {}
+    connections: Dict[Coord, Set[Coord]] = {}
+
+    for cell in sgs.cells.values():
+        parent = _parent_coord(cell.location, factor)
+        populations[parent] = populations.get(parent, 0) + cell.population
+        if cell.is_core:
+            statuses[parent] = CellStatus.CORE
+        else:
+            statuses.setdefault(parent, CellStatus.EDGE)
+
+    # Cross-boundary fine connections induce coarse connections. Fine
+    # connection vectors live on core cells only (Definition 4.4), and
+    # cover both core-core connections and edge attachments, so scanning
+    # them reproduces both relations at the coarse level.
+    for cell in sgs.cells.values():
+        if not cell.connections:
+            continue
+        parent = _parent_coord(cell.location, factor)
+        for other in cell.connections:
+            other_parent = _parent_coord(other, factor)
+            if other_parent == parent:
+                continue
+            if other not in sgs.cells:
+                continue
+            connections.setdefault(parent, set()).add(other_parent)
+            connections.setdefault(other_parent, set()).add(parent)
+
+    side = sgs.side_length * factor
+    cells: List[SkeletalGridCell] = []
+    for coord, population in populations.items():
+        status = statuses[coord]
+        conn: Set[Coord] = set()
+        if status is CellStatus.CORE:
+            conn = connections.get(coord, set())
+        cells.append(
+            SkeletalGridCell(coord, side, population, status, frozenset(conn))
+        )
+    return SGS(
+        cells,
+        side,
+        level=sgs.level + 1,
+        cluster_id=sgs.cluster_id,
+        window_index=sgs.window_index,
+    )
+
+
+def resolution_ladder(sgs: SGS, factor: int = 3, levels: int = 2) -> List[SGS]:
+    """Return ``[level0, level1, ..., level_n]`` (n = ``levels``).
+
+    Level 0 is the input (Basic SGS); each further level is built by
+    :func:`coarsen_sgs`. The ladder is what the budget-aware Pattern
+    Archiver chooses from.
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    ladder = [sgs]
+    for _ in range(levels):
+        ladder.append(coarsen_sgs(ladder[-1], factor))
+    return ladder
+
+
+def cells_needed_at_level(sgs: SGS, factor: int, level: int) -> int:
+    """Predict the number of cells of ``sgs`` at a coarser ``level``
+    without building it — the space-consumption estimate of Section 6.1's
+    budget-aware resolution selection."""
+    if level < sgs.level:
+        raise ValueError("cannot predict a finer level than the input")
+    scale = factor ** (level - sgs.level)
+    parents = {
+        tuple(c // scale for c in coord) for coord in sgs.cells
+    }
+    return len(parents)

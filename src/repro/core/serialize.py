@@ -1,0 +1,148 @@
+"""Serialization of SGS summaries and archived patterns.
+
+Two formats:
+
+* **binary** — the compact storage layout the paper's byte accounting
+  assumes (Section 8.2): per cell, int32 location coordinates, one
+  status byte, an int32 population, and a packed connection block. This
+  is what the Pattern Base would write to disk; round-tripping it also
+  validates the cost model in ``repro.eval.memory`` against real bytes.
+* **dict / JSON** — a human-readable interchange form for tooling.
+
+The binary connection block stores each connection as a signed byte per
+dimension of the neighbor-cell *offset* (connections only ever reach
+``ceil(sqrt(d))`` cells, so offsets fit easily), preceded by a one-byte
+count — close to the paper's fixed 2-byte bitmap while remaining exact
+for d >= 2 (see DESIGN.md on why a ±1 bitmap is insufficient).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List
+
+from repro.core.cells import CellStatus, SkeletalGridCell
+from repro.core.sgs import SGS
+
+_MAGIC = b"SGS1"
+
+
+def sgs_to_dict(sgs: SGS) -> Dict:
+    """JSON-ready dictionary form of an SGS."""
+    return {
+        "side_length": sgs.side_length,
+        "level": sgs.level,
+        "cluster_id": sgs.cluster_id,
+        "window_index": sgs.window_index,
+        "cells": [
+            {
+                "location": list(cell.location),
+                "population": cell.population,
+                "status": cell.status.value,
+                "connections": sorted(list(c) for c in cell.connections),
+            }
+            for cell in sgs.cells.values()
+        ],
+    }
+
+
+def sgs_from_dict(data: Dict) -> SGS:
+    """Inverse of :func:`sgs_to_dict`."""
+    cells = [
+        SkeletalGridCell(
+            tuple(entry["location"]),
+            data["side_length"],
+            entry["population"],
+            CellStatus(entry["status"]),
+            frozenset(tuple(c) for c in entry["connections"]),
+        )
+        for entry in data["cells"]
+    ]
+    return SGS(
+        cells,
+        data["side_length"],
+        level=data["level"],
+        cluster_id=data["cluster_id"],
+        window_index=data["window_index"],
+    )
+
+
+def sgs_to_json(sgs: SGS) -> str:
+    return json.dumps(sgs_to_dict(sgs), sort_keys=True)
+
+
+def sgs_from_json(text: str) -> SGS:
+    return sgs_from_dict(json.loads(text))
+
+
+def sgs_to_bytes(sgs: SGS) -> bytes:
+    """Compact binary encoding (the Pattern Base storage layout)."""
+    dims = sgs.dimensions
+    out: List[bytes] = [
+        _MAGIC,
+        struct.pack(
+            "<BdiiiI",
+            dims,
+            sgs.side_length,
+            sgs.level,
+            sgs.cluster_id,
+            sgs.window_index,
+            len(sgs.cells),
+        ),
+    ]
+    for cell in sgs.cells.values():
+        out.append(struct.pack(f"<{dims}i", *cell.location))
+        out.append(
+            struct.pack(
+                "<BIB",
+                1 if cell.is_core else 0,
+                cell.population,
+                len(cell.connections),
+            )
+        )
+        for other in sorted(cell.connections):
+            offsets = [o - c for o, c in zip(other, cell.location)]
+            if any(not -128 <= off <= 127 for off in offsets):
+                raise ValueError(
+                    f"connection offset out of byte range: {offsets}"
+                )
+            out.append(struct.pack(f"<{dims}b", *offsets))
+    return b"".join(out)
+
+
+def sgs_from_bytes(blob: bytes) -> SGS:
+    """Inverse of :func:`sgs_to_bytes`."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("not an SGS binary blob")
+    offset = 4
+    dims, side, level, cluster_id, window_index, n_cells = struct.unpack_from(
+        "<BdiiiI", blob, offset
+    )
+    offset += struct.calcsize("<BdiiiI")
+    cells = []
+    for _ in range(n_cells):
+        location = struct.unpack_from(f"<{dims}i", blob, offset)
+        offset += 4 * dims
+        is_core, population, n_conn = struct.unpack_from("<BIB", blob, offset)
+        offset += struct.calcsize("<BIB")
+        connections = []
+        for _ in range(n_conn):
+            deltas = struct.unpack_from(f"<{dims}b", blob, offset)
+            offset += dims
+            connections.append(
+                tuple(c + d for c, d in zip(location, deltas))
+            )
+        cells.append(
+            SkeletalGridCell(
+                location,
+                side,
+                population,
+                CellStatus.CORE if is_core else CellStatus.EDGE,
+                frozenset(connections),
+            )
+        )
+    return SGS(
+        cells, side, level=level, cluster_id=cluster_id,
+        window_index=window_index,
+    )

@@ -1,0 +1,13 @@
+"""Synthetic stream generators standing in for the paper's datasets."""
+
+from repro.data.gmti import GMTIStream
+from repro.data.stt import STTStream
+from repro.data.synthetic import DriftingBlobStream, static_blobs, uniform_noise
+
+__all__ = [
+    "DriftingBlobStream",
+    "GMTIStream",
+    "STTStream",
+    "static_blobs",
+    "uniform_noise",
+]

@@ -1,0 +1,129 @@
+"""GMTI-like moving-object stream (substitute for the JointSTARS data).
+
+The paper's GMTI dataset (Entzminger et al.) records positions and speeds
+of vehicles and helicopters observed by 24 ground stations/aircraft —
+about 100K records over 6 hours, with speeds between 0 and 200 mph. The
+data is not publicly available, so this generator reproduces the
+*behaviour* the experiments rely on: spatially coherent groups of moving
+objects (convoys) that drift, split, and dissolve inside a geographic
+region, plus unaffiliated background traffic.
+
+Group motion follows a Gauss–Markov mobility model: each group's velocity
+vector is an AR(1) process,
+``v_t = alpha * v_{t-1} + (1 - alpha) * mu + sigma * sqrt(1 - alpha^2) * eps``,
+which yields smooth but non-ballistic trajectories. Individual reports
+scatter around their group's center. Records are (x, y) positions in a
+``region``-sized box; the mover's speed rides along as payload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.streams.objects import StreamObject
+
+Point = Tuple[float, ...]
+
+
+class _Group:
+    __slots__ = ("center", "velocity", "spread", "size")
+
+    def __init__(self, center: List[float], velocity: List[float], spread: float, size: int):
+        self.center = center
+        self.velocity = velocity
+        self.spread = spread
+        self.size = size
+
+
+class GMTIStream:
+    """Synthetic ground-moving-target stream over a square region."""
+
+    def __init__(
+        self,
+        n_groups: int = 4,
+        region: float = 100.0,
+        group_spread: float = 1.5,
+        mean_speed: float = 0.05,
+        alpha: float = 0.9,
+        noise_fraction: float = 0.25,
+        group_churn: float = 0.0005,
+        seed: Optional[int] = 0,
+    ):
+        if not 0 <= noise_fraction <= 1:
+            raise ValueError("noise_fraction must be in [0, 1]")
+        if not 0 <= alpha < 1:
+            raise ValueError("alpha must be in [0, 1)")
+        self.region = region
+        self.group_spread = group_spread
+        self.mean_speed = mean_speed
+        self.alpha = alpha
+        self.noise_fraction = noise_fraction
+        self.group_churn = group_churn
+        self._rng = random.Random(seed)
+        self._groups: List[_Group] = [
+            self._new_group() for _ in range(n_groups)
+        ]
+
+    def _new_group(self) -> _Group:
+        rng = self._rng
+        heading = rng.uniform(0, 2 * math.pi)
+        speed = rng.uniform(0.2, 1.0) * self.mean_speed
+        return _Group(
+            center=[rng.uniform(0, self.region), rng.uniform(0, self.region)],
+            velocity=[speed * math.cos(heading), speed * math.sin(heading)],
+            spread=self.group_spread * rng.uniform(0.6, 1.4),
+            size=rng.randint(20, 120),
+        )
+
+    def _step(self) -> None:
+        rng = self._rng
+        alpha = self.alpha
+        sigma = self.mean_speed * 0.5
+        noise_scale = sigma * math.sqrt(1 - alpha * alpha)
+        for group in self._groups:
+            for i in range(2):
+                group.velocity[i] = (
+                    alpha * group.velocity[i]
+                    + (1 - alpha) * 0.0
+                    + noise_scale * rng.gauss(0.0, 1.0)
+                )
+                group.center[i] += group.velocity[i]
+                # Reflect at the region boundary.
+                if group.center[i] < 0:
+                    group.center[i] = -group.center[i]
+                    group.velocity[i] = -group.velocity[i]
+                elif group.center[i] > self.region:
+                    group.center[i] = 2 * self.region - group.center[i]
+                    group.velocity[i] = -group.velocity[i]
+        # Occasional group turnover (convoys form and dissolve).
+        if rng.random() < self.group_churn and self._groups:
+            index = rng.randrange(len(self._groups))
+            self._groups[index] = self._new_group()
+
+    def points(self, n: int) -> Iterator[Point]:
+        """Yield ``n`` (x, y) reports."""
+        rng = self._rng
+        for _ in range(n):
+            self._step()
+            if rng.random() < self.noise_fraction or not self._groups:
+                yield (
+                    rng.uniform(0, self.region),
+                    rng.uniform(0, self.region),
+                )
+            else:
+                weights = [group.size for group in self._groups]
+                group = rng.choices(self._groups, weights=weights, k=1)[0]
+                yield (
+                    rng.gauss(group.center[0], group.spread),
+                    rng.gauss(group.center[1], group.spread),
+                )
+
+    def objects(self, n: int, start_oid: int = 0) -> Iterator[StreamObject]:
+        """Yield ``n`` stream objects; payload carries a plausible speed
+        (mph, 0-200) for the reporting mover."""
+        rng = self._rng
+        for i, coords in enumerate(self.points(n)):
+            speed_mph = min(200.0, max(0.0, rng.gauss(45.0, 30.0)))
+            yield StreamObject(start_oid + i, coords, payload=speed_mph)

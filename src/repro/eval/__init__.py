@@ -1,0 +1,21 @@
+"""Evaluation substrate: byte-cost models, oracle judge, harness utils."""
+
+from repro.eval.memory import (
+    compression_rate,
+    crd_bytes,
+    full_representation_bytes,
+    rsp_bytes,
+    sgs_bytes,
+    skps_bytes,
+)
+from repro.eval.oracle import oracle_similarity
+
+__all__ = [
+    "compression_rate",
+    "crd_bytes",
+    "full_representation_bytes",
+    "oracle_similarity",
+    "rsp_bytes",
+    "sgs_bytes",
+    "skps_bytes",
+]

@@ -1,0 +1,109 @@
+"""Clustering-agreement metrics.
+
+General-purpose measures for comparing two clusterings of (mostly) the
+same objects — used by tests and analyses to quantify *how much* two
+window results differ when they are not identical (the equivalence
+tests use exact partition signatures; these metrics grade near-misses
+and cross-parameter comparisons).
+
+Edge objects may legitimately belong to several density-based clusters
+(Definition 3.1), so inputs are collections of member-oid sets rather
+than strict partitions; objects outside both clusterings are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+Grouping = Sequence[FrozenSet[int]]
+
+
+def _flatten(groups: Grouping) -> Set[int]:
+    result: Set[int] = set()
+    for group in groups:
+        result |= group
+    return result
+
+
+def _pairs(groups: Grouping) -> Set[Tuple[int, int]]:
+    pairs: Set[Tuple[int, int]] = set()
+    for group in groups:
+        members = sorted(group)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                pairs.add((a, b))
+    return pairs
+
+
+def pairwise_agreement(a: Grouping, b: Grouping) -> float:
+    """Rand-style agreement on co-clustered pairs, in [0, 1].
+
+    Over the objects clustered by both groupings: of all pairs
+    co-clustered by either side, the fraction co-clustered by both
+    (Jaccard of the co-membership relations). 1.0 iff the relations
+    coincide; 0.0 when no co-clustered pair is shared.
+    """
+    universe = _flatten(a) & _flatten(b)
+    if not universe:
+        return 1.0
+    pairs_a = {
+        (x, y) for x, y in _pairs(a) if x in universe and y in universe
+    }
+    pairs_b = {
+        (x, y) for x, y in _pairs(b) if x in universe and y in universe
+    }
+    union = pairs_a | pairs_b
+    if not union:
+        return 1.0
+    return len(pairs_a & pairs_b) / len(union)
+
+
+def best_match_overlap(a: Grouping, b: Grouping) -> float:
+    """Average best-Jaccard between the clusters of ``a`` and ``b``.
+
+    For each cluster of ``a``, its best Jaccard overlap with any cluster
+    of ``b``; averaged symmetrically. 1.0 iff the cluster sets are equal.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+
+    def directed(src: Grouping, dst: Grouping) -> float:
+        total = 0.0
+        for group in src:
+            best = 0.0
+            for other in dst:
+                union = len(group | other)
+                if union:
+                    best = max(best, len(group & other) / union)
+            total += best
+        return total / len(src)
+
+    return 0.5 * (directed(a, b) + directed(b, a))
+
+
+def purity(a: Grouping, b: Grouping) -> float:
+    """Weighted purity of ``a``'s clusters against ``b``'s.
+
+    Each cluster of ``a`` is scored by the largest fraction of its
+    members falling into one cluster of ``b``; scores are weighted by
+    cluster size. 1.0 when every ``a`` cluster is contained in some
+    ``b`` cluster.
+    """
+    total_members = sum(len(group) for group in a)
+    if total_members == 0:
+        return 1.0
+    total = 0.0
+    for group in a:
+        best = 0
+        for other in b:
+            best = max(best, len(group & other))
+        total += best
+    return total / total_members
+
+
+def grouping_of_clusters(clusters: Iterable) -> List[FrozenSet[int]]:
+    """Adapter: :class:`~repro.clustering.cluster.Cluster` list to a
+    grouping (list of member-oid frozensets)."""
+    return [cluster.member_oids() for cluster in clusters]

@@ -1,0 +1,15 @@
+"""Geometric primitives shared by the clustering and indexing substrates."""
+
+from repro.geometry.distance import (
+    chebyshev_distance,
+    euclidean_distance,
+    squared_euclidean_distance,
+)
+from repro.geometry.mbr import MBR
+
+__all__ = [
+    "MBR",
+    "chebyshev_distance",
+    "euclidean_distance",
+    "squared_euclidean_distance",
+]

@@ -1,0 +1,7 @@
+"""Index substrate: grid index for range queries, R-tree, feature grid."""
+
+from repro.index.feature_grid import FeatureGridIndex
+from repro.index.grid_index import GridIndex, cell_side_for_range
+from repro.index.rtree import RTree
+
+__all__ = ["FeatureGridIndex", "GridIndex", "RTree", "cell_side_for_range"]

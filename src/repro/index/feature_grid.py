@@ -1,0 +1,145 @@
+"""Non-locational feature grid index (Section 7.1).
+
+The Pattern Base organizes archived clusters along four non-locational
+features captured by SGS: volume (number of skeletal grid cells), status
+count (number of core cells), average density, and average connectivity.
+This index bins those feature vectors into a uniform 4-D grid so a
+matching query can enumerate only the clusters inside a per-feature search
+range, as derived from the distance threshold (Section 7.2's candidate
+search).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+Coord = Tuple[int, ...]
+
+
+class FeatureGridIndex:
+    """Uniform grid index over fixed-dimension feature vectors.
+
+    ``bin_widths`` fixes the granularity per feature. Entries are
+    ``(features, value)``; range queries return the values whose features
+    fall inside a closed hyper-rectangle.
+    """
+
+    def __init__(self, bin_widths: Sequence[float]):
+        if not bin_widths:
+            raise ValueError("need at least one feature dimension")
+        if any(width <= 0 for width in bin_widths):
+            raise ValueError("bin widths must be positive")
+        self.bin_widths = tuple(float(width) for width in bin_widths)
+        self.dimensions = len(self.bin_widths)
+        self._cells: Dict[Coord, List[Tuple[Tuple[float, ...], Any]]] = {}
+        self._size = 0
+
+    def _coord(self, features: Sequence[float]) -> Coord:
+        if len(features) != self.dimensions:
+            raise ValueError(
+                f"feature vector has {len(features)} dims, expected "
+                f"{self.dimensions}"
+            )
+        return tuple(
+            int(math.floor(value / width))
+            for value, width in zip(features, self.bin_widths)
+        )
+
+    def insert(self, features: Sequence[float], value: Any) -> None:
+        key = self._coord(features)
+        bucket = self._cells.setdefault(key, [])
+        bucket.append((tuple(float(f) for f in features), value))
+        self._size += 1
+
+    def remove(self, features: Sequence[float], value: Any) -> bool:
+        """Remove one entry with identical features and value identity."""
+        key = self._coord(features)
+        bucket = self._cells.get(key)
+        if not bucket:
+            return False
+        for i, (stored, stored_value) in enumerate(bucket):
+            if stored_value is value and all(
+                abs(a - b) < 1e-12 for a, b in zip(stored, features)
+            ):
+                del bucket[i]
+                if not bucket:
+                    del self._cells[key]
+                self._size -= 1
+                return True
+        return False
+
+    def range_query(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> List[Any]:
+        """Return values whose features lie in [lows, highs] per dimension."""
+        if len(lows) != self.dimensions or len(highs) != self.dimensions:
+            raise ValueError("range bounds must match feature dimensions")
+        if not self._cells:
+            return []
+        # Unbounded dimensions (e.g. zero-weight features) clamp to the
+        # occupied extent instead of enumerating an infinite box.
+        max_keys = [
+            max(key[d] for key in self._cells) for d in range(self.dimensions)
+        ]
+        min_keys = [
+            min(key[d] for key in self._cells) for d in range(self.dimensions)
+        ]
+        low_cell = tuple(
+            min_keys[d]
+            if math.isinf(low)
+            else max(min_keys[d], int(math.floor(low / width)))
+            for d, (low, width) in enumerate(zip(lows, self.bin_widths))
+        )
+        high_cell = tuple(
+            max_keys[d]
+            if math.isinf(high)
+            else min(max_keys[d], int(math.floor(high / width)))
+            for d, (high, width) in enumerate(zip(highs, self.bin_widths))
+        )
+        result: List[Any] = []
+
+        def visit(prefix: Coord) -> None:
+            depth = len(prefix)
+            if depth == self.dimensions:
+                bucket = self._cells.get(prefix)
+                if not bucket:
+                    return
+                for features, value in bucket:
+                    inside = True
+                    for f, low, high in zip(features, lows, highs):
+                        if f < low or f > high:
+                            inside = False
+                            break
+                    if inside:
+                        result.append(value)
+                return
+            for c in range(low_cell[depth], high_cell[depth] + 1):
+                visit(prefix + (c,))
+
+        # When the query box is huge relative to occupied cells, scanning
+        # occupied cells directly is cheaper than enumerating the box.
+        box_cells = 1
+        for low, high in zip(low_cell, high_cell):
+            box_cells *= high - low + 1
+            if box_cells > max(1, len(self._cells)):
+                break
+        if box_cells > len(self._cells):
+            for key, bucket in self._cells.items():
+                if all(l <= k <= h for k, l, h in zip(key, low_cell, high_cell)):
+                    for features, value in bucket:
+                        if all(
+                            low <= f <= high
+                            for f, low, high in zip(features, lows, highs)
+                        ):
+                            result.append(value)
+            return result
+        visit(())
+        return result
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> Iterator[Tuple[Tuple[float, ...], Any]]:
+        for bucket in self._cells.values():
+            yield from bucket

@@ -1,0 +1,175 @@
+"""Uniform grid index over the data space.
+
+This is both the range-query accelerator used by every clustering
+algorithm in the package (one range query per new object — Section 5.3)
+and the cell decomposition that underlies SGS itself: C-SGS builds its
+skeletal grid cells directly on the cells of this index (Section 5.4).
+
+Cell sizing follows Section 4.3: the *diagonal* of a cell equals the range
+threshold θr, i.e. the side length is ``θr / sqrt(d)``. That guarantees
+that any two objects in the same cell are neighbors, and it bounds the
+cells that can contain neighbors of a point to those within
+``ceil(sqrt(d))`` grid steps in every dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.streams.objects import StreamObject
+
+Coord = Tuple[int, ...]
+
+
+def cell_side_for_range(theta_range: float, dimensions: int) -> float:
+    """Return the grid side length whose cell diagonal equals θr."""
+    if theta_range <= 0:
+        raise ValueError("theta_range must be positive")
+    if dimensions <= 0:
+        raise ValueError("dimensions must be positive")
+    return theta_range / math.sqrt(dimensions)
+
+
+class GridIndex:
+    """A dictionary-backed uniform grid over d-dimensional space.
+
+    Cells are addressed by integer coordinate tuples
+    ``floor(x_i / side)``; only non-empty cells are materialized. The index
+    stores :class:`StreamObject` references and supports the two
+    operations the clustering layer needs: range queries (all objects
+    within θr of a point) and removal of expired objects.
+    """
+
+    def __init__(self, theta_range: float, dimensions: int):
+        self.theta_range = float(theta_range)
+        self.dimensions = int(dimensions)
+        self.side = cell_side_for_range(theta_range, dimensions)
+        # Neighbors of a point can lie at most ceil(sqrt(d)) cells away
+        # in each dimension because theta_range == side * sqrt(d).
+        self.reach = int(math.ceil(math.sqrt(dimensions)))
+        self._cells: Dict[Coord, List[StreamObject]] = {}
+        self._sq_range = self.theta_range * self.theta_range
+        self._offsets = self._build_offsets()
+
+    def _build_offsets(self) -> List[Coord]:
+        """Precompute the relative cell offsets a range query must visit.
+
+        Offsets whose closest corner is farther than θr from the query
+        cell are pruned, which eliminates most of the
+        ``(2*reach + 1)^d`` candidates in higher dimensions.
+        """
+        offsets: List[Coord] = []
+        span = range(-self.reach, self.reach + 1)
+
+        def expand(prefix: Tuple[int, ...]) -> None:
+            if len(prefix) == self.dimensions:
+                # Minimal possible distance between a point in the query
+                # cell and a point in the offset cell, per dimension:
+                # (|delta| - 1) * side when |delta| > 0.
+                sq_min = 0.0
+                for delta in prefix:
+                    if delta != 0:
+                        gap = (abs(delta) - 1) * self.side
+                        sq_min += gap * gap
+                if sq_min <= self._sq_range + 1e-12:
+                    offsets.append(prefix)
+                return
+            for delta in span:
+                expand(prefix + (delta,))
+
+        expand(())
+        return offsets
+
+    def cell_coord(self, coords: Sequence[float]) -> Coord:
+        """Return the grid cell coordinate containing a point."""
+        return tuple(int(math.floor(value / self.side)) for value in coords)
+
+    def insert(self, obj: StreamObject) -> Coord:
+        """Insert an object; returns its cell coordinate."""
+        coord = self.cell_coord(obj.coords)
+        bucket = self._cells.get(coord)
+        if bucket is None:
+            bucket = []
+            self._cells[coord] = bucket
+        bucket.append(obj)
+        return coord
+
+    def remove(self, obj: StreamObject) -> None:
+        """Remove an object previously inserted (raises if absent)."""
+        coord = self.cell_coord(obj.coords)
+        bucket = self._cells.get(coord)
+        if bucket is None or obj not in bucket:
+            raise KeyError(f"object {obj.oid} not present in grid")
+        bucket.remove(obj)
+        if not bucket:
+            del self._cells[coord]
+
+    def purge_expired(self, window_index: int) -> int:
+        """Drop every object whose last window precedes ``window_index``.
+
+        Returns the number of objects removed. This is the only
+        expiration work the lifespan-based algorithms perform.
+        """
+        removed = 0
+        empty: List[Coord] = []
+        for coord, bucket in self._cells.items():
+            kept = [obj for obj in bucket if obj.last_window >= window_index]
+            removed += len(bucket) - len(kept)
+            if kept:
+                bucket[:] = kept
+            else:
+                empty.append(coord)
+        for coord in empty:
+            del self._cells[coord]
+        return removed
+
+    def range_query(
+        self, coords: Sequence[float], exclude_oid: int = -1
+    ) -> List[StreamObject]:
+        """Return all stored objects within θr of ``coords``.
+
+        ``exclude_oid`` omits the query object itself when it has already
+        been inserted.
+        """
+        base = self.cell_coord(coords)
+        result: List[StreamObject] = []
+        sq_range = self._sq_range
+        for offset in self._offsets:
+            coord = tuple(b + o for b, o in zip(base, offset))
+            bucket = self._cells.get(coord)
+            if not bucket:
+                continue
+            for obj in bucket:
+                if obj.oid == exclude_oid:
+                    continue
+                total = 0.0
+                for a, b in zip(coords, obj.coords):
+                    diff = a - b
+                    total += diff * diff
+                    if total > sq_range:
+                        break
+                else:
+                    result.append(obj)
+        return result
+
+    def objects_in_cell(self, coord: Coord) -> List[StreamObject]:
+        """Return the live objects stored in one cell (empty list if none)."""
+        return list(self._cells.get(coord, ()))
+
+    def occupied_cells(self) -> Iterator[Coord]:
+        return iter(self._cells.keys())
+
+    def cell_population(self, coord: Coord) -> int:
+        return len(self._cells.get(coord, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._cells.values())
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        for bucket in self._cells.values():
+            yield from bucket
+
+    def bulk_load(self, objects: Iterable[StreamObject]) -> None:
+        for obj in objects:
+            self.insert(obj)

@@ -1,0 +1,120 @@
+"""A k-d tree for static range-query search.
+
+The streaming algorithms use the uniform grid index (whose cell
+decomposition doubles as the SGS substrate), but the summarizers that
+post-process a *static* cluster (SkPS's neighborhood coverage, ad-hoc
+analyses) only need one-shot range search. A balanced k-d tree built in
+``O(n log n)`` offers that without choosing a grid resolution, and the
+index ablation compares the two on the library's workloads.
+
+Implementation: median-split construction on alternating axes over the
+point array; range queries descend only into sub-trees whose bounding
+slabs intersect the query ball.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.streams.objects import StreamObject
+
+
+class _Node:
+    __slots__ = ("obj", "axis", "left", "right")
+
+    def __init__(self, obj: StreamObject, axis: int):
+        self.obj = obj
+        self.axis = axis
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class KDTree:
+    """Static, balanced k-d tree over stream objects."""
+
+    def __init__(self, objects: Sequence[StreamObject], dimensions: int):
+        if dimensions < 1:
+            raise ValueError("dimensions must be positive")
+        self.dimensions = dimensions
+        self._size = len(objects)
+        self._root = self._build(list(objects), 0)
+
+    def _build(
+        self, objects: List[StreamObject], depth: int
+    ) -> Optional[_Node]:
+        if not objects:
+            return None
+        axis = depth % self.dimensions
+        objects.sort(key=lambda obj: obj.coords[axis])
+        median = len(objects) // 2
+        node = _Node(objects[median], axis)
+        node.left = self._build(objects[:median], depth + 1)
+        node.right = self._build(objects[median + 1 :], depth + 1)
+        return node
+
+    def __len__(self) -> int:
+        return self._size
+
+    def range_query(
+        self,
+        coords: Sequence[float],
+        radius: float,
+        exclude_oid: int = -1,
+    ) -> List[StreamObject]:
+        """All stored objects within ``radius`` of ``coords``."""
+        if len(coords) != self.dimensions:
+            raise ValueError("query dimensionality mismatch")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        result: List[StreamObject] = []
+        sq_radius = radius * radius
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            delta = coords[node.axis] - node.obj.coords[node.axis]
+            total = 0.0
+            for a, b in zip(coords, node.obj.coords):
+                diff = a - b
+                total += diff * diff
+                if total > sq_radius:
+                    break
+            else:
+                if node.obj.oid != exclude_oid:
+                    result.append(node.obj)
+            if delta <= radius:
+                stack.append(node.left)
+            if delta >= -radius:
+                stack.append(node.right)
+        return result
+
+    def nearest(
+        self, coords: Sequence[float], exclude_oid: int = -1
+    ) -> Optional[StreamObject]:
+        """Nearest stored object to ``coords`` (None when empty)."""
+        best: Optional[StreamObject] = None
+        best_sq = math.inf
+
+        def visit(node: Optional[_Node]) -> None:
+            nonlocal best, best_sq
+            if node is None:
+                return
+            if node.obj.oid != exclude_oid:
+                sq = sum(
+                    (a - b) ** 2 for a, b in zip(coords, node.obj.coords)
+                )
+                if sq < best_sq:
+                    best_sq = sq
+                    best = node.obj
+            delta = coords[node.axis] - node.obj.coords[node.axis]
+            near, far = (
+                (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            )
+            visit(near)
+            if delta * delta < best_sq:
+                visit(far)
+
+        visit(self._root)
+        return best

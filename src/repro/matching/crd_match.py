@@ -1,0 +1,32 @@
+"""CRD matching: the simple subtraction-based distance (Section 8.2).
+
+Equal weight on the three CRD features — centroid, radius ("range") and
+density — each normalized into [0, 1]. Three subtractions per candidate,
+which is why CRD matching is the fastest (and, per Figure 9, the least
+faithful) of the evaluated matchers.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.distance import euclidean_distance
+from repro.matching.metric import relative_difference
+from repro.summaries.crd import CRD
+
+
+def crd_distance(a: CRD, b: CRD, position_sensitive: bool = False) -> float:
+    """Distance in [0, 1] between two CRD summaries."""
+    if a.dimensions != b.dimensions:
+        raise ValueError("cannot match CRDs of different dimensionality")
+    centroid_gap = euclidean_distance(a.centroid, b.centroid)
+    reach = a.radius + b.radius
+    if position_sensitive:
+        if centroid_gap > reach:
+            return 1.0
+        centroid_term = centroid_gap / reach if reach > 0 else 0.0
+    else:
+        centroid_term = 0.0
+    radius_term = relative_difference(a.radius, b.radius)
+    density_term = relative_difference(a.density, b.density)
+    if position_sensitive:
+        return (centroid_term + radius_term + density_term) / 3.0
+    return (radius_term + density_term) / 2.0

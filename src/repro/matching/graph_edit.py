@@ -1,0 +1,143 @@
+"""SkPS matching: suboptimal graph edit distance via beam search.
+
+Follows the fast suboptimal GED framework of Neuhaus, Riesen & Bunke
+(SSPR 2006) the paper uses for matching skeletal point sets: node
+assignments are explored in a tree search, but only the ``beam_width``
+cheapest partial assignments survive each level, trading optimality for
+speed. Costs:
+
+* node substitution — Euclidean distance between the skeletal points,
+  normalized by the joint bounding-box diagonal (so costs are scale
+  free); centroids are pre-aligned in non-position-sensitive mode;
+* node insertion / deletion — cost 1;
+* edge mismatch — for each decided node pair, edges implied by one graph
+  but absent in the other cost 0.5 each.
+
+The final cost is normalized by the worst-case edit cost, keeping the
+distance within [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.geometry.distance import euclidean_distance
+from repro.summaries.skps import SkPS
+
+Point = Tuple[float, ...]
+
+
+def _normalizer(points_a: Sequence[Point], points_b: Sequence[Point]) -> float:
+    dims = len(points_a[0])
+    lows = [
+        min(min(p[i] for p in points_a), min(p[i] for p in points_b))
+        for i in range(dims)
+    ]
+    highs = [
+        max(max(p[i] for p in points_a), max(p[i] for p in points_b))
+        for i in range(dims)
+    ]
+    diagonal = math.sqrt(
+        sum((high - low) ** 2 for low, high in zip(lows, highs))
+    )
+    return diagonal if diagonal > 0 else 1.0
+
+
+def _translate(points: Sequence[Point], offset: Point) -> List[Point]:
+    return [
+        tuple(value + shift for value, shift in zip(point, offset))
+        for point in points
+    ]
+
+
+def _adjacency(skps: SkPS) -> Dict[int, Set[int]]:
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(skps.size)}
+    for a, b in skps.edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency
+
+
+def graph_edit_distance(
+    a: SkPS,
+    b: SkPS,
+    position_sensitive: bool = False,
+    beam_width: int = 8,
+) -> float:
+    """Normalized suboptimal GED between two skeletal point sets."""
+    if a.size == 0 or b.size == 0:
+        raise ValueError("cannot match empty skeletal point sets")
+    points_a = list(a.points)
+    points_b = list(b.points)
+    if not position_sensitive:
+        centroid_a = tuple(
+            sum(p[i] for p in points_a) / len(points_a)
+            for i in range(len(points_a[0]))
+        )
+        centroid_b = tuple(
+            sum(p[i] for p in points_b) / len(points_b)
+            for i in range(len(points_b[0]))
+        )
+        offset = tuple(cb - ca for ca, cb in zip(centroid_a, centroid_b))
+        points_a = _translate(points_a, offset)
+    scale = _normalizer(points_a, points_b)
+    adj_a = _adjacency(a)
+    adj_b = _adjacency(b)
+
+    n_a, n_b = len(points_a), len(points_b)
+    edge_count_a = len(a.edges)
+    edge_count_b = len(b.edges)
+    worst = n_a + n_b + 0.5 * (edge_count_a + edge_count_b)
+
+    # Beam state: (cost, mapping dict a_index -> b_index or None)
+    Beam = Tuple[float, Dict[int, int]]
+    beam: List[Beam] = [(0.0, {})]
+    used_b_sets: List[Set[int]] = [set()]
+
+    for i in range(n_a):
+        candidates: List[Tuple[float, Dict[int, int], Set[int]]] = []
+        for (cost, mapping), used_b in zip(beam, used_b_sets):
+            # Delete node i.
+            candidates.append((cost + 1.0, {**mapping, i: -1}, used_b))
+            # Substitute with any unused node of b.
+            for j in range(n_b):
+                if j in used_b:
+                    continue
+                sub_cost = (
+                    euclidean_distance(points_a[i], points_b[j]) / scale
+                )
+                edge_cost = 0.0
+                for prev_a, prev_b in mapping.items():
+                    if prev_b == -1:
+                        continue
+                    has_edge_a = prev_a in adj_a[i]
+                    has_edge_b = prev_b in adj_b[j]
+                    if has_edge_a != has_edge_b:
+                        edge_cost += 0.5
+                candidates.append(
+                    (
+                        cost + sub_cost + edge_cost,
+                        {**mapping, i: j},
+                        used_b | {j},
+                    )
+                )
+        candidates.sort(key=lambda item: item[0])
+        survivors = candidates[:beam_width]
+        beam = [(cost, mapping) for cost, mapping, _ in survivors]
+        used_b_sets = [used for _, _, used in survivors]
+
+    best_cost = float("inf")
+    for (cost, mapping), used_b in zip(beam, used_b_sets):
+        # Unmatched b nodes are insertions; their unmatched edges cost too.
+        remaining = n_b - len(used_b)
+        total = cost + remaining
+        for a_index, b_index in mapping.items():
+            if b_index == -1:
+                # Edges of deleted a-nodes to other deleted/unmapped nodes.
+                total += 0.25 * len(adj_a[a_index])
+        for j in range(n_b):
+            if j not in used_b:
+                total += 0.25 * len(adj_b[j])
+        best_cost = min(best_cost, total)
+    return min(1.0, best_cost / worst) if worst > 0 else 0.0

@@ -1,0 +1,123 @@
+"""The customizable cluster distance metric (Section 7.2).
+
+``Dist(Ca, Cb) = ps * Dist_location + sum_i w_i * Dist_nlf_i(Ca, Cb)``
+
+* ``ps`` (position sensitivity) is 0 or 1. In position-sensitive mode two
+  non-overlapping clusters are maximally distant and no further features
+  are compared.
+* Each non-locational feature distance is the *relative difference* with
+  a min-denominator, as used in the paper's candidate-range derivation:
+  ``|x - v| / min(x, v)``, capped at 1.
+* Feature weights are analyst-specified and sum to 1.
+
+The same spec drives the feature-index candidate search: a threshold
+``t`` and weight ``w_i`` bound feature ``i``'s relative difference by
+``B = t / w_i``, i.e. the candidate range is ``[v / (1 + B), v * (1 + B)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.features import FEATURE_NAMES, ClusterFeatures
+from repro.geometry.mbr import MBR
+
+_EPSILON = 1e-9
+
+
+def relative_difference(a: float, b: float) -> float:
+    """min-denominator relative difference, capped at 1."""
+    if a < 0 or b < 0:
+        raise ValueError("features must be non-negative")
+    if a == b:
+        return 0.0
+    denominator = min(a, b)
+    if denominator <= _EPSILON:
+        return 1.0
+    return min(1.0, abs(a - b) / denominator)
+
+
+def _default_weights() -> Dict[str, float]:
+    # Equal weight on all four features, as in Section 8.2.
+    return {name: 1.0 / len(FEATURE_NAMES) for name in FEATURE_NAMES}
+
+
+@dataclass
+class DistanceMetricSpec:
+    """Analyst-customizable distance metric configuration."""
+
+    position_sensitive: bool = False
+    weights: Dict[str, float] = field(default_factory=_default_weights)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - set(FEATURE_NAMES)
+        if unknown:
+            raise ValueError(f"unknown features: {sorted(unknown)}")
+        total = sum(self.weights.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"weights must sum to 1, got {total}")
+        if any(weight < 0 for weight in self.weights.values()):
+            raise ValueError("weights must be non-negative")
+
+    def weight(self, name: str) -> float:
+        return self.weights.get(name, 0.0)
+
+
+def location_distance(mbr_a: MBR, mbr_b: MBR) -> float:
+    """0 when the clusters overlap in the data space, else 1."""
+    return 0.0 if mbr_a.intersects(mbr_b) else 1.0
+
+
+def cluster_feature_distance(
+    features_a: ClusterFeatures,
+    features_b: ClusterFeatures,
+    spec: DistanceMetricSpec,
+    mbr_a: Optional[MBR] = None,
+    mbr_b: Optional[MBR] = None,
+) -> float:
+    """Cluster-level distance on the four non-locational features, plus
+    the locational term when the spec is position-sensitive."""
+    total = 0.0
+    if spec.position_sensitive:
+        if mbr_a is None or mbr_b is None:
+            raise ValueError("position-sensitive matching requires MBRs")
+        loc = location_distance(mbr_a, mbr_b)
+        if loc >= 1.0:
+            return 1.0
+        total += loc
+    for name in FEATURE_NAMES:
+        weight = spec.weight(name)
+        if weight == 0.0:
+            continue
+        total += weight * relative_difference(features_a[name], features_b[name])
+    return min(1.0, total)
+
+
+def feature_search_ranges(
+    features: ClusterFeatures,
+    spec: DistanceMetricSpec,
+    threshold: float,
+) -> Tuple[List[float], List[float]]:
+    """Per-feature candidate search ranges (Section 7.2).
+
+    Any cluster whose feature ``i`` falls outside
+    ``[v / (1 + t/w_i), v * (1 + t/w_i)]`` necessarily exceeds the overall
+    distance threshold, so the feature-grid range query can skip it.
+    Zero-weight features are unconstrained.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    lows: List[float] = []
+    highs: List[float] = []
+    for name in FEATURE_NAMES:
+        value = features[name]
+        weight = spec.weight(name)
+        if weight <= _EPSILON:
+            lows.append(0.0)
+            highs.append(float("inf"))
+            continue
+        bound = threshold / weight
+        lows.append(value / (1.0 + bound))
+        highs.append(value * (1.0 + bound))
+    return lows, highs

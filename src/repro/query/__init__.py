@@ -1,0 +1,5 @@
+"""Textual query front-end for the paper's query templates."""
+
+from repro.query.parser import QueryParseError, parse_query
+
+__all__ = ["QueryParseError", "parse_query"]

@@ -1,0 +1,154 @@
+"""Parser for the paper's declarative query templates (Figures 2 and 3).
+
+Continuous clustering queries::
+
+    DETECT DensityBasedClusters f+s FROM stream
+    USING theta_range = 0.1 AND theta_cnt = 8
+    IN Windows WITH win = 10000 AND slide = 1000
+
+    -- time-based windows use duration suffixes:
+    ... IN Windows WITH win = 60s AND slide = 10s
+
+Cluster matching queries::
+
+    GIVEN DensityBasedClusters C1
+    SELECT DensityBasedClusters FROM History
+    WHERE Distance <= 0.25
+    [USING position_sensitive]
+    [WEIGHT volume = 0.1 AND core_count = 0.2
+        AND avg_density = 0.4 AND avg_connectivity = 0.3]
+
+The grammar is whitespace- and case-insensitive on keywords. Parsing
+produces the same dataclasses the programmatic API uses
+(:class:`~repro.config.ContinuousClusteringQuery` /
+:class:`~repro.config.ClusterMatchingQuery`), so the textual form is a
+thin veneer, not a second code path.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Union
+
+from repro.config import ClusterMatchingQuery, ContinuousClusteringQuery
+from repro.matching.metric import DistanceMetricSpec
+
+
+class QueryParseError(ValueError):
+    """Raised when query text does not match the supported templates."""
+
+
+_DETECT = re.compile(
+    r"""
+    ^DETECT\s+DensityBasedClusters(?:\s*(?P<repr>f\+s|f|s))?\s+
+    FROM\s+(?P<stream>\w+)\s+
+    USING\s+theta_?range\s*=\s*(?P<range>[\d.eE+-]+)\s+
+    AND\s+theta_?(?:cnt|count)\s*=\s*(?P<count>\d+)\s+
+    IN\s+WINDOWS?\s+WITH\s+
+    win\s*=\s*(?P<win>[\d.]+)(?P<winunit>s|ms|m)?\s+
+    AND\s+slide\s*=\s*(?P<slide>[\d.]+)(?P<slideunit>s|ms|m)?
+    \s*(?:;\s*)?$
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_MATCH = re.compile(
+    r"""
+    ^GIVEN\s+DensityBasedClusters?\s+(?P<given>\w+)\s+
+    SELECT\s+DensityBasedClusters?\s*(?:\w+\s+)?FROM\s+History\s+
+    WHERE\s+Distance(?:\s*\([^)]*\))?\s*<=\s*(?P<threshold>[\d.eE+-]+)
+    (?:\s+USING\s+(?P<ps>position_?sensitive))?
+    (?:\s+WEIGHT\s+(?P<weights>.+?))?
+    (?:\s+TOP\s+(?P<topk>\d+))?
+    \s*(?:;\s*)?$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_WEIGHT_TERM = re.compile(
+    r"(?P<name>\w+)\s*=\s*(?P<value>[\d.eE+-]+)", re.IGNORECASE
+)
+
+_UNIT_SECONDS = {"s": 1.0, "ms": 1e-3, "m": 60.0}
+
+
+def _normalize(text: str) -> str:
+    return re.sub(r"\s+", " ", text.strip())
+
+
+def _parse_weights(text: str) -> Dict[str, float]:
+    weights: Dict[str, float] = {}
+    for term in _WEIGHT_TERM.finditer(text):
+        weights[term.group("name").lower()] = float(term.group("value"))
+    if not weights:
+        raise QueryParseError(f"cannot parse WEIGHT clause: {text!r}")
+    return weights
+
+
+def parse_query(
+    text: str, dimensions: Optional[int] = None
+) -> Union[ContinuousClusteringQuery, ClusterMatchingQuery]:
+    """Parse one query; returns the matching spec dataclass.
+
+    ``dimensions`` is required for DETECT queries (the textual template
+    does not carry the stream's dimensionality).
+    """
+    normalized = _normalize(text)
+    detect = _DETECT.match(normalized)
+    if detect:
+        if dimensions is None:
+            raise QueryParseError(
+                "DETECT queries need the stream dimensionality "
+                "(pass dimensions=...)"
+            )
+        win_unit = detect.group("winunit")
+        slide_unit = detect.group("slideunit")
+        if bool(win_unit) != bool(slide_unit):
+            raise QueryParseError(
+                "win and slide must both be counts or both be durations"
+            )
+        theta_range = float(detect.group("range"))
+        theta_count = int(detect.group("count"))
+        if win_unit:
+            win = float(detect.group("win")) * _UNIT_SECONDS[win_unit.lower()]
+            slide = float(detect.group("slide")) * _UNIT_SECONDS[
+                slide_unit.lower()
+            ]
+            return ContinuousClusteringQuery.time_based(
+                theta_range, theta_count, dimensions, win, slide
+            )
+        win_value = detect.group("win")
+        slide_value = detect.group("slide")
+        if "." in win_value or "." in slide_value:
+            raise QueryParseError(
+                "count-based win/slide must be integers (add a duration "
+                "suffix like 's' for time-based windows)"
+            )
+        return ContinuousClusteringQuery.count_based(
+            theta_range, theta_count, dimensions, int(win_value),
+            int(slide_value),
+        )
+
+    match = _MATCH.match(normalized)
+    if match:
+        weights_text = match.group("weights")
+        if weights_text:
+            metric = DistanceMetricSpec(
+                position_sensitive=bool(match.group("ps")),
+                weights=_parse_weights(weights_text),
+            )
+        else:
+            metric = DistanceMetricSpec(
+                position_sensitive=bool(match.group("ps"))
+            )
+        top_k = match.group("topk")
+        return ClusterMatchingQuery(
+            sim_threshold=float(match.group("threshold")),
+            metric=metric,
+            top_k=int(top_k) if top_k else None,
+        )
+
+    raise QueryParseError(
+        f"query does not match the DETECT or GIVEN/SELECT templates: "
+        f"{normalized[:80]!r}"
+    )

@@ -1,0 +1,21 @@
+"""Stream substrate: tuples, CQL-style sliding windows, and sources."""
+
+from repro.streams.objects import StreamObject
+from repro.streams.source import ListSource, RateFluctuatingSource, StreamSource
+from repro.streams.windows import (
+    CountBasedWindowSpec,
+    TimeBasedWindowSpec,
+    WindowSpec,
+    Windower,
+)
+
+__all__ = [
+    "CountBasedWindowSpec",
+    "ListSource",
+    "RateFluctuatingSource",
+    "StreamObject",
+    "StreamSource",
+    "TimeBasedWindowSpec",
+    "WindowSpec",
+    "Windower",
+]

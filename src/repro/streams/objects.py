@@ -1,0 +1,73 @@
+"""Stream objects (tuples) flowing through sliding windows.
+
+A :class:`StreamObject` is the unit of clustering: a point in a
+d-dimensional metric space with a timestamp (time-based windows) and an
+arrival sequence number (count-based windows). Window membership — the
+pair ``(first_window, last_window)`` — is stamped onto the object by the
+:class:`~repro.streams.windows.Windower` when the object enters the query;
+everything downstream (lifespan analysis, C-SGS, Extra-N) reads window
+membership from these two integers only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class StreamObject:
+    """A single stream tuple.
+
+    Attributes:
+        oid: unique, monotonically increasing object identifier.
+        coords: position in the clustering space.
+        timestamp: event time (seconds, arbitrary epoch). Only meaningful
+            for time-based windows; defaults to the arrival order.
+        first_window / last_window: inclusive window-index range in which
+            this object participates. Stamped by the windower.
+        payload: optional opaque application data carried alongside.
+    """
+
+    __slots__ = (
+        "oid",
+        "coords",
+        "timestamp",
+        "first_window",
+        "last_window",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        oid: int,
+        coords: Tuple[float, ...],
+        timestamp: Optional[float] = None,
+        payload: object = None,
+    ):
+        self.oid = oid
+        self.coords = tuple(coords)
+        self.timestamp = float(oid if timestamp is None else timestamp)
+        self.first_window: int = -1
+        self.last_window: int = -1
+        self.payload = payload
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.coords)
+
+    def lifespan_from(self, window_index: int) -> int:
+        """Number of windows (current included) the object still lives in.
+
+        This is Observation 5.2 of the paper expressed against the stamped
+        window range: an object alive in window ``W_n`` participates in
+        windows ``W_n .. W_n + lifespan - 1``.
+        """
+        return self.last_window - window_index + 1
+
+    def alive_in(self, window_index: int) -> bool:
+        return self.first_window <= window_index <= self.last_window
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamObject(oid={self.oid}, coords={self.coords}, "
+            f"windows=[{self.first_window},{self.last_window}])"
+        )

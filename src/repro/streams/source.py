@@ -1,0 +1,87 @@
+"""Stream sources: adapters that turn raw data into stream objects.
+
+Sources are plain iterables of :class:`~repro.streams.objects.StreamObject`
+so any generator works; these classes cover the common cases — replaying
+an in-memory list of points, and modulating the timestamp assignment of an
+underlying coordinate generator to simulate fluctuating input rates
+(Section 8.1 of the paper evaluates time-based windows under such rates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.streams.objects import StreamObject
+
+
+class StreamSource:
+    """Base class for sources; subclasses implement ``__iter__``."""
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        raise NotImplementedError
+
+
+class ListSource(StreamSource):
+    """Replay an in-memory sequence of coordinate tuples as a stream.
+
+    Timestamps default to the arrival order (one tuple per time unit)
+    unless explicit timestamps are provided.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Sequence[float]],
+        timestamps: Optional[Sequence[float]] = None,
+        start_oid: int = 0,
+    ):
+        if timestamps is not None and len(timestamps) != len(points):
+            raise ValueError("timestamps must parallel points")
+        self._points = points
+        self._timestamps = timestamps
+        self._start_oid = start_oid
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        for i, coords in enumerate(self._points):
+            timestamp = None if self._timestamps is None else self._timestamps[i]
+            yield StreamObject(self._start_oid + i, tuple(coords), timestamp)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class RateFluctuatingSource(StreamSource):
+    """Assign timestamps with a fluctuating arrival rate.
+
+    The instantaneous rate oscillates sinusoidally between
+    ``base_rate * (1 - amplitude)`` and ``base_rate * (1 + amplitude)``
+    with the given ``period`` (in tuples). This exercises time-based
+    windows whose per-window populations vary — the stress case for any
+    algorithm whose state is tied to tuple counts per window.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Sequence[float]],
+        base_rate: float = 100.0,
+        amplitude: float = 0.5,
+        period: int = 1000,
+        start_oid: int = 0,
+    ):
+        if not 0 <= amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        self._points = points
+        self._base_rate = base_rate
+        self._amplitude = amplitude
+        self._period = period
+        self._start_oid = start_oid
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        clock = 0.0
+        for i, coords in enumerate(self._points):
+            phase = 2 * math.pi * (i % self._period) / self._period
+            rate = self._base_rate * (1 + self._amplitude * math.sin(phase))
+            clock += 1.0 / rate
+            yield StreamObject(self._start_oid + i, tuple(coords), clock)

@@ -1,0 +1,16 @@
+"""Alternative cluster summarization formats evaluated against SGS."""
+
+from repro.summaries.base import ClusterSummarizer
+from repro.summaries.crd import CRD, CRDSummarizer
+from repro.summaries.rsp import RSP, RSPSummarizer
+from repro.summaries.skps import SkPS, SkPSSummarizer
+
+__all__ = [
+    "CRD",
+    "CRDSummarizer",
+    "ClusterSummarizer",
+    "RSP",
+    "RSPSummarizer",
+    "SkPS",
+    "SkPSSummarizer",
+]

@@ -1,0 +1,62 @@
+"""Centroid–Radius–Density summarization (the "traditional" baseline).
+
+CRD treats a cluster as a statistical phenomenon (Section 2's critique):
+one centroid, one radius, one density number. It is extremely compact and
+cheap to build (a single scan over the members), but by construction it
+cannot express arbitrary shapes, internal connectivity, or non-uniform
+density — which is exactly what the matching-quality experiment
+(Figure 9) exposes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.clustering.cluster import Cluster
+from repro.geometry.distance import euclidean_distance
+from repro.summaries.base import ClusterSummarizer
+
+
+@dataclass(frozen=True)
+class CRD:
+    """Centroid + radius + density of one cluster."""
+
+    centroid: Tuple[float, ...]
+    radius: float
+    density: float
+    population: int
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.centroid)
+
+
+def _sphere_volume(radius: float, dimensions: int) -> float:
+    """Volume of a d-ball (the density denominator)."""
+    if radius <= 0:
+        return 0.0
+    return (
+        math.pi ** (dimensions / 2.0)
+        / math.gamma(dimensions / 2.0 + 1.0)
+        * radius**dimensions
+    )
+
+
+class CRDSummarizer(ClusterSummarizer):
+    """Single-scan centroid/radius/density extraction."""
+
+    name = "CRD"
+
+    def summarize(self, cluster: Cluster) -> CRD:
+        members = cluster.members
+        if not members:
+            raise ValueError("cannot summarize an empty cluster")
+        centroid = cluster.centroid()
+        radius = max(
+            euclidean_distance(obj.coords, centroid) for obj in members
+        )
+        volume = _sphere_volume(radius, len(centroid))
+        density = len(members) / volume if volume > 0 else float(len(members))
+        return CRD(centroid, radius, density, len(members))

@@ -1,0 +1,73 @@
+"""Random Sampling summarization (RSP).
+
+RSP represents each cluster by a uniform random sample of its members.
+Following Section 8's evaluation protocol, the sampling rate is chosen
+per cluster so the sample's memory footprint equals that of the SGS of
+the same cluster — making the storage budgets of the two formats
+identical and the quality comparison fair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.clustering.cluster import Cluster
+from repro.summaries.base import ClusterSummarizer
+
+
+@dataclass(frozen=True)
+class RSP:
+    """A random member sample of one cluster."""
+
+    points: Tuple[Tuple[float, ...], ...]
+    population: int
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.points)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.points[0]) if self.points else 0
+
+
+class RSPSummarizer(ClusterSummarizer):
+    """Uniform random sampling with a budget-matched sample size.
+
+    ``budget_cells(cluster)``, when provided, returns the number of
+    skeletal grid cells the cluster's SGS uses; the sample size is chosen
+    so the RSP consumes the same number of bytes under the shared cost
+    model (one SGS cell stores roughly the same bytes as one sampled
+    point: 4-byte coordinates vs. cell attributes — see
+    ``repro.eval.memory``). Without a budget callback, ``rate`` applies.
+    """
+
+    name = "RSP"
+
+    def __init__(
+        self,
+        rate: float = 0.02,
+        budget_cells=None,
+        seed: Optional[int] = 7,
+    ):
+        if not 0 < rate <= 1:
+            raise ValueError("rate must be in (0, 1]")
+        self.rate = rate
+        self.budget_cells = budget_cells
+        self._rng = random.Random(seed)
+
+    def summarize(self, cluster: Cluster) -> RSP:
+        members = cluster.members
+        if not members:
+            raise ValueError("cannot summarize an empty cluster")
+        if self.budget_cells is not None:
+            size = max(1, min(len(members), int(self.budget_cells(cluster))))
+        else:
+            size = max(1, int(round(len(members) * self.rate)))
+        sample = self._rng.sample(members, size)
+        return RSP(
+            tuple(obj.coords for obj in sample),
+            population=len(members),
+        )

@@ -1,0 +1,6 @@
+"""End-to-end framework wiring the four components of Figure 4."""
+
+from repro.system.extractor import PatternExtractor
+from repro.system.framework import StreamPatternMiningSystem
+
+__all__ = ["PatternExtractor", "StreamPatternMiningSystem"]

@@ -1,0 +1,88 @@
+"""The four-component framework of Figure 4, wired end to end.
+
+``StreamPatternMiningSystem`` connects:
+
+* the **Pattern Extractor** (Continuous Clustering Queries: full + SGS
+  representation per window);
+* the **Pattern Archiver** (selective archival, resolution choice);
+* the **Pattern Base** (dual feature indices);
+* the **Pattern Analyzer** (Cluster Matching Queries).
+
+Typical use: construct, :meth:`run` (or :meth:`run_steps` to observe
+windows as they complete), then submit :meth:`match` queries against the
+accumulated stream history.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.archive.analyzer import MatchResult, MatchStats, PatternAnalyzer
+from repro.archive.archiver import ArchivePolicy, PatternArchiver
+from repro.archive.pattern_base import PatternBase
+from repro.core.csgs import WindowOutput
+from repro.core.sgs import SGS
+from repro.matching.metric import DistanceMetricSpec
+from repro.streams.objects import StreamObject
+from repro.streams.windows import WindowSpec
+from repro.system.extractor import PatternExtractor
+
+
+class StreamPatternMiningSystem:
+    """End-to-end: extract, summarize, archive, and match clusters."""
+
+    def __init__(
+        self,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        window_spec: WindowSpec,
+        metric: Optional[DistanceMetricSpec] = None,
+        archive_policy: Optional[ArchivePolicy] = None,
+        archive_level: int = 0,
+        archive_byte_budget: Optional[int] = None,
+    ):
+        self.extractor = PatternExtractor(
+            theta_range, theta_count, dimensions, window_spec
+        )
+        self.pattern_base = PatternBase()
+        self.archiver = PatternArchiver(
+            self.pattern_base,
+            policy=archive_policy,
+            level=archive_level,
+            byte_budget_per_cluster=archive_byte_budget,
+        )
+        self.analyzer = PatternAnalyzer(self.pattern_base, metric)
+
+    def run_steps(
+        self,
+        source: Iterable[StreamObject],
+        max_windows: Optional[int] = None,
+    ) -> Iterator[WindowOutput]:
+        """Process the stream, archiving each window's clusters, and
+        yield each window's output for live monitoring."""
+        for output in self.extractor.run(source, max_windows=max_windows):
+            self.archiver.archive_output(output)
+            yield output
+
+    def run(
+        self,
+        source: Iterable[StreamObject],
+        max_windows: Optional[int] = None,
+    ) -> List[WindowOutput]:
+        """Process the stream to completion; returns all window outputs."""
+        return list(self.run_steps(source, max_windows=max_windows))
+
+    def match(
+        self,
+        query: SGS,
+        threshold: float,
+        top_k: Optional[int] = None,
+        spec: Optional[DistanceMetricSpec] = None,
+    ) -> "tuple[List[MatchResult], MatchStats]":
+        """Submit a Cluster Matching Query (Figure 3) for any SGS."""
+        return self.analyzer.match(query, threshold, top_k=top_k, spec=spec)
+
+    @property
+    def archived_count(self) -> int:
+        return len(self.pattern_base)

@@ -1,0 +1,19 @@
+"""Cluster evolution tracking across windows (Section 6.2's future work).
+
+The paper's Pattern Archiver anticipates "evolution driven" pattern
+selection as future work; this subpackage implements it: clusters are
+tracked across consecutive windows by core-cell overlap, structural
+events (emerge / survive / merge / split / disappear) are detected, and
+an evolution-driven archiver stores a cluster only when its track is new
+or has drifted materially since its last archived snapshot.
+"""
+
+from repro.tracking.archiver import EvolutionDrivenArchiver
+from repro.tracking.tracker import ClusterTracker, TrackEvent, TrackedCluster
+
+__all__ = [
+    "ClusterTracker",
+    "EvolutionDrivenArchiver",
+    "TrackEvent",
+    "TrackedCluster",
+]

@@ -1,0 +1,92 @@
+"""Unit tests for Pattern Base persistence."""
+
+import io
+
+import pytest
+
+from conftest import clustered_points, stream_batches
+from repro.archive.analyzer import PatternAnalyzer
+from repro.archive.pattern_base import PatternBase
+from repro.archive.persistence import (
+    dump_pattern_base,
+    load_pattern_base,
+    roundtrip_bytes,
+)
+from repro.core.csgs import CSGS
+from repro.matching.metric import DistanceMetricSpec
+
+
+def _populated(seed=1):
+    points = clustered_points(
+        [(2.0, 2.0), (6.0, 5.0)], per_cluster=250, noise=100, seed=seed
+    )
+    base = PatternBase()
+    csgs = CSGS(0.35, 5, 2)
+    last = None
+    for batch in stream_batches(points, 300, 100):
+        last = csgs.process_batch(batch)
+        for cluster, sgs in zip(last.clusters, last.summaries):
+            base.add(sgs, cluster.size)
+    return base, last
+
+
+def test_roundtrip_preserves_patterns(tmp_path):
+    base, _ = _populated()
+    path = tmp_path / "history.sgsa"
+    written = dump_pattern_base(base, path)
+    assert written == path.stat().st_size
+    loaded = load_pattern_base(path)
+    assert len(loaded) == len(base)
+    for pattern in base.all_patterns():
+        restored = loaded.get(pattern.pattern_id)
+        assert restored is not None
+        assert restored.full_size == pattern.full_size
+        assert restored.features == pattern.features
+        assert restored.mbr == pattern.mbr
+        assert set(restored.sgs.cells) == set(pattern.sgs.cells)
+
+
+def test_roundtrip_preserves_byte_accounting():
+    base, _ = _populated(seed=2)
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    assert loaded.summary_bytes() == base.summary_bytes()
+
+
+def test_loaded_base_answers_queries_identically():
+    base, last = _populated(seed=3)
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    spec = DistanceMetricSpec()
+    query = last.summaries[0]
+    original_results, _ = PatternAnalyzer(base, spec).match(query, 0.3)
+    loaded_results, _ = PatternAnalyzer(loaded, spec).match(query, 0.3)
+    assert [
+        (r.pattern.pattern_id, round(r.distance, 9)) for r in original_results
+    ] == [
+        (r.pattern.pattern_id, round(r.distance, 9)) for r in loaded_results
+    ]
+
+
+def test_new_patterns_get_fresh_ids_after_load():
+    base, last = _populated(seed=4)
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    new_pattern = loaded.add(last.summaries[0], 10)
+    assert new_pattern.pattern_id == max(
+        p.pattern_id for p in base.all_patterns()
+    ) + 1
+
+
+def test_empty_base_roundtrip():
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(PatternBase())))
+    assert len(loaded) == 0
+
+
+def test_garbage_rejected():
+    with pytest.raises(ValueError):
+        load_pattern_base(io.BytesIO(b"JUNKJUNKJUNK"))
+
+
+def test_truncated_rejected():
+    base, _ = _populated(seed=5)
+    blob = roundtrip_bytes(base)
+    with pytest.raises(ValueError):
+        load_pattern_base(io.BytesIO(blob[: len(blob) // 2]))

@@ -1,0 +1,132 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_run_and_match(tmp_path, capsys):
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+
+    assert main(
+        [
+            "generate",
+            "--kind",
+            "blobs",
+            "--count",
+            "1500",
+            "--seed",
+            "1",
+            "--out",
+            str(stream_csv),
+        ]
+    ) == 0
+    assert stream_csv.exists()
+    assert "wrote 1500 records" in capsys.readouterr().out
+
+    assert main(
+        [
+            "run",
+            "--input",
+            str(stream_csv),
+            "--theta-range",
+            "0.3",
+            "--theta-count",
+            "5",
+            "--win",
+            "500",
+            "--slide",
+            "250",
+            "--archive",
+            str(archive),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "window 0" in out
+    assert "persisted pattern base" in out
+    assert archive.exists()
+
+    assert main(
+        [
+            "match",
+            "--archive",
+            str(archive),
+            "--pattern",
+            "0",
+            "--threshold",
+            "0.4",
+            "--top",
+            "3",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "matches" in out
+
+
+def test_show_ascii_and_json(tmp_path, capsys):
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1200", "--out", str(stream_csv)])
+    main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+            "--archive", str(archive),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["show", "--archive", str(archive), "--pattern", "0"]) == 0
+    art = capsys.readouterr().out
+    assert "cells" in art and "┌" in art
+    assert (
+        main(["show", "--archive", str(archive), "--pattern", "0", "--json"])
+        == 0
+    )
+    json_out = capsys.readouterr().out
+    assert '"cells"' in json_out
+
+
+def test_match_missing_pattern_errors(tmp_path, capsys):
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1200", "--out", str(stream_csv)])
+    main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+            "--archive", str(archive),
+        ]
+    )
+    capsys.readouterr()
+    assert (
+        main(["match", "--archive", str(archive), "--pattern", "99999"]) == 1
+    )
+    assert "no pattern" in capsys.readouterr().err
+
+
+def test_run_time_based(tmp_path, capsys):
+    stream_csv = tmp_path / "stream.csv"
+    main(["generate", "--count", "1000", "--out", str(stream_csv)])
+    capsys.readouterr()
+    # Arrival-order timestamps: 1000 tuples = 1000 time units.
+    assert main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+            "--time-based",
+        ]
+    ) == 0
+    assert "window" in capsys.readouterr().out
+
+
+def test_run_empty_input(tmp_path, capsys):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    assert main(
+        [
+            "run", "--input", str(empty), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+        ]
+    ) == 1
+    assert "empty" in capsys.readouterr().err

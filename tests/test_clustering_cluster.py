@@ -1,0 +1,62 @@
+"""Unit tests for the full cluster representation."""
+
+import pytest
+
+from conftest import make_objects
+from repro.clustering.cluster import Cluster, core_signature, partition_signature
+
+
+def _cluster():
+    cores = make_objects([(0.0, 0.0), (1.0, 0.0)])
+    edges = make_objects([(2.0, 0.0)])
+    edges[0].oid = 2
+    return Cluster(0, cores, edges, window_index=5)
+
+
+def test_members_and_size():
+    cluster = _cluster()
+    assert cluster.size == 3
+    assert len(cluster) == 3
+    assert [obj.oid for obj in cluster.members] == [0, 1, 2]
+
+
+def test_oid_sets():
+    cluster = _cluster()
+    assert cluster.member_oids() == frozenset({0, 1, 2})
+    assert cluster.core_oids() == frozenset({0, 1})
+
+
+def test_mbr():
+    cluster = _cluster()
+    box = cluster.mbr()
+    assert box.lows == (0.0, 0.0)
+    assert box.highs == (2.0, 0.0)
+
+
+def test_centroid():
+    cluster = _cluster()
+    assert cluster.centroid() == pytest.approx((1.0, 0.0))
+
+
+def test_partition_signature_ignores_labels_and_order():
+    a = Cluster(0, make_objects([(0.0, 0.0)]), [])
+    b = Cluster(99, make_objects([(0.0, 0.0)]), [])
+    assert partition_signature([a]) == partition_signature([b])
+
+
+def test_partition_signature_detects_difference():
+    objs = make_objects([(0.0, 0.0), (1.0, 1.0)])
+    a = Cluster(0, [objs[0]], [])
+    b = Cluster(0, [objs[0]], [objs[1]])
+    assert partition_signature([a]) != partition_signature([b])
+
+
+def test_core_signature_excludes_edges():
+    objs = make_objects([(0.0, 0.0), (1.0, 1.0)])
+    with_edge = Cluster(0, [objs[0]], [objs[1]])
+    without = Cluster(0, [objs[0]], [])
+    assert core_signature([with_edge]) == core_signature([without])
+
+
+def test_window_index_carried():
+    assert _cluster().window_index == 5

@@ -1,0 +1,121 @@
+"""Unit tests for incremental DBSCAN (the per-tuple baseline)."""
+
+import random
+
+from conftest import clustered_points, make_objects, stream_batches
+from repro.clustering.cluster import partition_signature
+from repro.clustering.dbscan import dbscan
+from repro.clustering.inc_dbscan import IncrementalDBSCAN
+from repro.streams.objects import StreamObject
+
+
+def _obj(oid, coords, last=100):
+    obj = StreamObject(oid, coords)
+    obj.first_window = 0
+    obj.last_window = last
+    return obj
+
+
+def _assert_equals_static(inc, objects, theta_range, theta_count):
+    expected = partition_signature(dbscan(objects, theta_range, theta_count))
+    got = partition_signature(inc.clusters())
+    assert got == expected
+
+
+def test_insert_only_matches_static():
+    rng = random.Random(1)
+    inc = IncrementalDBSCAN(0.4, 4, 2)
+    objects = []
+    points = clustered_points(
+        [(2.0, 2.0), (5.0, 4.0)], per_cluster=80, noise=60, seed=1
+    )
+    for i, coords in enumerate(points):
+        obj = _obj(i, coords)
+        inc.insert(obj)
+        objects.append(obj)
+        if i % 37 == 0:
+            _assert_equals_static(inc, objects, 0.4, 4)
+    _assert_equals_static(inc, objects, 0.4, 4)
+
+
+def test_insert_merges_two_clusters():
+    inc = IncrementalDBSCAN(0.5, 3, 2)
+    left = [(0.0, 0.0), (0.25, 0.0), (0.0, 0.25), (0.25, 0.25)]
+    right = [(1.5, 0.0), (1.75, 0.0), (1.5, 0.25), (1.75, 0.25)]
+    objects = []
+    for i, coords in enumerate(left + right):
+        obj = _obj(i, coords)
+        inc.insert(obj)
+        objects.append(obj)
+    assert len(inc.clusters()) == 2
+    bridge = _obj(99, (0.9, 0.1))
+    inc.insert(bridge)
+    objects.append(bridge)
+    _assert_equals_static(inc, objects, 0.5, 3)
+
+
+def test_delete_splits_cluster():
+    inc = IncrementalDBSCAN(0.5, 2, 2)
+    chain = [(0.4 * i, 0.0) for i in range(9)]
+    objects = [_obj(i, coords) for i, coords in enumerate(chain)]
+    for obj in objects:
+        inc.insert(obj)
+    assert len(inc.clusters()) == 1
+    middle = objects[4]
+    inc.delete(middle)
+    objects.remove(middle)
+    _assert_equals_static(inc, objects, 0.5, 2)
+    assert len(inc.clusters()) == 2
+
+
+def test_random_insert_delete_sequence_matches_static():
+    rng = random.Random(7)
+    inc = IncrementalDBSCAN(0.45, 3, 2)
+    alive = []
+    next_oid = 0
+    for step in range(300):
+        if alive and rng.random() < 0.4:
+            victim = alive.pop(rng.randrange(len(alive)))
+            inc.delete(victim)
+        else:
+            coords = (rng.uniform(0, 3), rng.uniform(0, 3))
+            obj = _obj(next_oid, coords)
+            next_oid += 1
+            inc.insert(obj)
+            alive.append(obj)
+        if step % 29 == 0:
+            _assert_equals_static(inc, alive, 0.45, 3)
+    _assert_equals_static(inc, alive, 0.45, 3)
+
+
+def test_window_replay_matches_dbscan():
+    points = clustered_points(
+        [(2.0, 2.0), (5.0, 4.0)], per_cluster=150, noise=100, seed=2
+    )
+    inc = IncrementalDBSCAN(0.35, 5, 2)
+    buffer = []
+    for batch in stream_batches(points, 200, 50):
+        clusters = inc.process_batch(batch)
+        buffer = [o for o in buffer if o.last_window >= batch.index]
+        buffer.extend(batch.new_objects)
+        oracle = dbscan(buffer, 0.35, 5, batch.index)
+        assert partition_signature(clusters) == partition_signature(oracle)
+
+
+def test_deletion_counters():
+    points = clustered_points([(1.0, 1.0)], per_cluster=100, seed=3)
+    inc = IncrementalDBSCAN(0.35, 5, 2)
+    for batch in stream_batches(points, 60, 30):
+        inc.process_batch(batch)
+    assert inc.deletions_processed > 0
+
+
+def test_empty_and_len():
+    inc = IncrementalDBSCAN(0.5, 3, 2)
+    assert len(inc) == 0
+    assert inc.clusters() == []
+    obj = _obj(0, (0.0, 0.0))
+    inc.insert(obj)
+    assert len(inc) == 1
+    inc.delete(obj)
+    assert len(inc) == 0

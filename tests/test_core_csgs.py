@@ -1,0 +1,209 @@
+"""Unit and window-replay tests for the C-SGS algorithm.
+
+The decisive correctness property — full representations identical to a
+per-window DBSCAN (and to Extra-N) — is asserted over several replayed
+streams with different parameters, plus structural checks on the emitted
+SGS summaries (statuses, connections, populations, Lemma 4.1/4.2).
+"""
+
+import random
+
+import pytest
+
+from conftest import clustered_points, stream_batches
+from repro.clustering.cluster import partition_signature
+from repro.clustering.dbscan import classify_objects, dbscan
+from repro.clustering.extra_n import ExtraN
+from repro.core.cells import CellStatus
+from repro.core.csgs import CSGS
+from repro.streams.objects import StreamObject
+
+
+def _replay_and_compare(points, theta_range, theta_count, win, slide):
+    """Run C-SGS, Extra-N and per-window DBSCAN over the same stream and
+    assert identical cluster partitions at every window."""
+    csgs = CSGS(theta_range, theta_count, 2)
+    extra_n = ExtraN(theta_range, theta_count, 2)
+    buffer = []
+    last_output = None
+    for batch in stream_batches(points, win, slide):
+        output = csgs.process_batch(batch)
+        # Stream objects are immutable to the algorithms, so the same
+        # batch can be fed to all three safely.
+        extra_clusters = extra_n.process_batch(batch)
+        buffer = [o for o in buffer if o.last_window >= batch.index]
+        for obj in batch.new_objects:
+            buffer.append(obj)
+        oracle = dbscan(buffer, theta_range, theta_count, batch.index)
+        sig_csgs = partition_signature(output.clusters)
+        sig_extra = partition_signature(extra_clusters)
+        sig_oracle = partition_signature(oracle)
+        assert sig_csgs == sig_oracle, f"C-SGS differs at window {batch.index}"
+        assert sig_extra == sig_oracle, (
+            f"Extra-N differs at window {batch.index}"
+        )
+        last_output = output
+    return last_output
+
+
+def test_equivalence_on_blobs_with_noise():
+    points = clustered_points(
+        [(2.0, 2.0), (6.0, 3.0)], per_cluster=300, noise=200, seed=1
+    )
+    _replay_and_compare(points, 0.35, 5, 400, 100)
+
+
+def test_equivalence_small_slide():
+    points = clustered_points(
+        [(2.0, 2.0), (5.0, 5.0)], per_cluster=200, noise=100, seed=2
+    )
+    _replay_and_compare(points, 0.3, 4, 250, 50)
+
+
+def test_equivalence_slide_equals_window():
+    # Tumbling windows: every object lives exactly one window.
+    points = clustered_points([(3.0, 3.0)], per_cluster=200, noise=100, seed=3)
+    _replay_and_compare(points, 0.4, 5, 150, 150)
+
+
+def test_equivalence_uniform_noise_only():
+    rng = random.Random(4)
+    points = [(rng.uniform(0, 8), rng.uniform(0, 8)) for _ in range(900)]
+    _replay_and_compare(points, 0.3, 6, 300, 100)
+
+
+def test_equivalence_dense_single_cluster():
+    points = clustered_points([(1.0, 1.0)], per_cluster=600, seed=5, std=0.5)
+    _replay_and_compare(points, 0.25, 8, 300, 75)
+
+
+def test_sgs_cell_statuses_match_object_careers():
+    points = clustered_points(
+        [(2.0, 2.0), (5.0, 4.0)], per_cluster=250, noise=150, seed=6
+    )
+    theta_range, theta_count = 0.35, 5
+    csgs = CSGS(theta_range, theta_count, 2)
+    buffer = []
+    for batch in stream_batches(points, 300, 100):
+        output = csgs.process_batch(batch)
+        buffer = [o for o in buffer if o.last_window >= batch.index]
+        buffer.extend(batch.new_objects)
+        labels = classify_objects(buffer, theta_range, theta_count)
+        grid = csgs.tracker.grid
+        for sgs in output.summaries:
+            for cell in sgs.cells.values():
+                objs = grid.objects_in_cell(cell.location)
+                statuses = {labels[o.oid] for o in objs}
+                if cell.status is CellStatus.CORE:
+                    assert "core" in statuses, (
+                        f"core cell {cell.location} has no core object"
+                    )
+                else:
+                    # Lemma: edge cells contain no core objects.
+                    assert "core" not in statuses
+
+
+def test_lemma_4_2_edge_cell_population_below_theta_count():
+    points = clustered_points(
+        [(2.0, 2.0)], per_cluster=300, noise=200, seed=7
+    )
+    theta_count = 6
+    csgs = CSGS(0.35, theta_count, 2)
+    for batch in stream_batches(points, 250, 50):
+        output = csgs.process_batch(batch)
+        for sgs in output.summaries:
+            grid = csgs.tracker.grid
+            for cell in sgs.edge_cells():
+                # All objects physically in the cell (not just members).
+                assert len(grid.objects_in_cell(cell.location)) < theta_count
+
+
+def test_sgs_population_counts_cluster_members():
+    points = clustered_points([(2.0, 2.0)], per_cluster=200, noise=80, seed=8)
+    csgs = CSGS(0.35, 5, 2)
+    for batch in stream_batches(points, 200, 100):
+        output = csgs.process_batch(batch)
+        for cluster, sgs in zip(output.clusters, output.summaries):
+            assert sgs.population == len(
+                {o.oid for o in cluster.members}
+            ) or sgs.population == cluster.size
+            # Every member must fall into a cell of the summary.
+            for obj in cluster.members:
+                assert sgs.covers_point(obj.coords)
+
+
+def test_summaries_are_connected():
+    points = clustered_points(
+        [(2.0, 2.0), (6.0, 6.0)], per_cluster=250, noise=150, seed=9
+    )
+    csgs = CSGS(0.35, 5, 2)
+    for batch in stream_batches(points, 300, 100):
+        output = csgs.process_batch(batch)
+        for sgs in output.summaries:
+            assert sgs.is_connected(), (
+                f"window {batch.index}: disconnected SGS"
+            )
+
+
+def test_cluster_and_summary_aligned():
+    points = clustered_points([(2.0, 2.0)], per_cluster=150, seed=10)
+    csgs = CSGS(0.4, 4, 2)
+    for batch in stream_batches(points, 150, 50):
+        output = csgs.process_batch(batch)
+        assert len(output.clusters) == len(output.summaries)
+        for cluster, sgs in zip(output.clusters, output.summaries):
+            assert cluster.cluster_id == sgs.cluster_id
+            assert cluster.window_index == sgs.window_index == batch.index
+
+
+def test_state_sizes_reporting():
+    points = clustered_points([(1.0, 1.0)], per_cluster=100, seed=11)
+    csgs = CSGS(0.4, 4, 2)
+    for batch in stream_batches(points, 100, 50):
+        csgs.process_batch(batch)
+    sizes = csgs.state_sizes()
+    assert sizes["objects"] > 0
+    assert sizes["cells"] >= 0
+    assert set(sizes) == {
+        "objects",
+        "hist_entries",
+        "noncore_entries",
+        "cells",
+        "core_connections",
+        "edge_attachments",
+    }
+
+
+def test_rejects_stale_batch():
+    csgs = CSGS(0.4, 4, 2)
+    from repro.streams.windows import WindowBatch
+
+    csgs.process_batch(WindowBatch(index=5))
+    with pytest.raises(ValueError):
+        csgs.process_batch(WindowBatch(index=4))
+
+
+def test_empty_windows_produce_no_clusters():
+    from repro.streams.windows import WindowBatch
+
+    csgs = CSGS(0.4, 4, 2)
+    output = csgs.process_batch(WindowBatch(index=0))
+    assert output.clusters == [] and output.summaries == []
+
+
+def test_objects_expire_fully():
+    from repro.streams.windows import WindowBatch
+
+    csgs = CSGS(0.4, 2, 2)
+    batch = WindowBatch(index=0)
+    for i in range(10):
+        obj = StreamObject(i, (0.1 * i, 0.0))
+        obj.first_window = 0
+        obj.last_window = 1
+        batch.new_objects.append(obj)
+    assert len(csgs.process_batch(batch).clusters) == 1
+    # After the objects' last window passes, everything is gone.
+    output = csgs.process_batch(WindowBatch(index=2))
+    assert output.clusters == []
+    assert len(csgs.tracker) == 0
+    assert csgs.state_sizes()["cells"] == 0

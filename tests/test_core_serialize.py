@@ -1,0 +1,107 @@
+"""Unit tests for SGS serialization (binary and JSON round-trips)."""
+
+import pytest
+
+from conftest import clustered_points, stream_batches
+from repro.core.csgs import CSGS
+from repro.core.serialize import (
+    sgs_from_bytes,
+    sgs_from_dict,
+    sgs_from_json,
+    sgs_to_bytes,
+    sgs_to_dict,
+    sgs_to_json,
+)
+from repro.eval.memory import sgs_bytes
+
+
+def _summaries(seed=1, dims=2):
+    if dims == 2:
+        points = clustered_points(
+            [(2.0, 2.0), (5.0, 4.0)], per_cluster=250, noise=100, seed=seed
+        )
+        csgs = CSGS(0.35, 5, 2)
+    else:
+        import random
+
+        rng = random.Random(seed)
+        points = [
+            tuple(rng.gauss(0.5, 0.1) for _ in range(dims))
+            for _ in range(400)
+        ]
+        csgs = CSGS(0.15, 5, dims)
+    result = []
+    for batch in stream_batches(points, 300, 100):
+        result.extend(csgs.process_batch(batch).summaries)
+    return result
+
+
+def _equal(a, b):
+    if abs(a.side_length - b.side_length) > 1e-12:
+        return False
+    if (a.level, a.cluster_id, a.window_index) != (
+        b.level,
+        b.cluster_id,
+        b.window_index,
+    ):
+        return False
+    if set(a.cells) != set(b.cells):
+        return False
+    for loc, cell in a.cells.items():
+        other = b.cells[loc]
+        if (
+            cell.population != other.population
+            or cell.status is not other.status
+            or cell.connections != other.connections
+        ):
+            return False
+    return True
+
+
+def test_json_roundtrip():
+    for sgs in _summaries():
+        assert _equal(sgs, sgs_from_json(sgs_to_json(sgs)))
+
+
+def test_dict_roundtrip():
+    for sgs in _summaries(seed=2):
+        assert _equal(sgs, sgs_from_dict(sgs_to_dict(sgs)))
+
+
+def test_binary_roundtrip():
+    for sgs in _summaries(seed=3):
+        assert _equal(sgs, sgs_from_bytes(sgs_to_bytes(sgs)))
+
+
+def test_binary_roundtrip_4d():
+    for sgs in _summaries(seed=4, dims=4):
+        assert _equal(sgs, sgs_from_bytes(sgs_to_bytes(sgs)))
+
+
+def test_binary_size_tracks_cost_model():
+    """Real serialized bytes must stay within ~2x of the paper-style
+    byte accounting (the model charges a fixed 2-byte connection block;
+    the codec stores exact offsets)."""
+    for sgs in _summaries(seed=5):
+        real = len(sgs_to_bytes(sgs))
+        model = sgs_bytes(sgs)
+        assert real < 3 * model + 64
+        assert real > 0.5 * model
+
+
+def test_binary_rejects_garbage():
+    with pytest.raises(ValueError):
+        sgs_from_bytes(b"NOPE" + b"\x00" * 64)
+
+
+def test_json_is_deterministic():
+    sgs = _summaries(seed=6)[0]
+    assert sgs_to_json(sgs) == sgs_to_json(sgs)
+
+
+def test_multires_roundtrip():
+    from repro.core.multires import coarsen_sgs
+
+    sgs = max(_summaries(seed=7), key=len)
+    coarse = coarsen_sgs(sgs, 3)
+    assert _equal(coarse, sgs_from_bytes(sgs_to_bytes(coarse)))

@@ -1,0 +1,81 @@
+"""Unit tests for the clustering-agreement metrics."""
+
+import pytest
+
+from conftest import clustered_points, make_objects
+from repro.clustering.dbscan import dbscan
+from repro.eval.quality import (
+    best_match_overlap,
+    grouping_of_clusters,
+    pairwise_agreement,
+    purity,
+)
+
+
+def _g(*groups):
+    return [frozenset(group) for group in groups]
+
+
+def test_identical_groupings_score_one():
+    a = _g({1, 2, 3}, {4, 5})
+    assert pairwise_agreement(a, a) == 1.0
+    assert best_match_overlap(a, a) == 1.0
+    assert purity(a, a) == 1.0
+
+
+def test_disjoint_pairs_score_zero_agreement():
+    a = _g({1, 2}, {3, 4})
+    b = _g({1, 3}, {2, 4})
+    assert pairwise_agreement(a, b) == 0.0
+
+
+def test_merge_detected_as_partial_agreement():
+    split = _g({1, 2, 3}, {4, 5, 6})
+    merged = _g({1, 2, 3, 4, 5, 6})
+    agreement = pairwise_agreement(split, merged)
+    assert 0.0 < agreement < 1.0
+    # Purity of the split side against the merged side is perfect.
+    assert purity(split, merged) == 1.0
+    assert purity(merged, split) == pytest.approx(0.5)
+
+
+def test_best_match_overlap_partial():
+    a = _g({1, 2, 3, 4})
+    b = _g({1, 2, 3, 9})
+    assert best_match_overlap(a, b) == pytest.approx(3 / 5)
+
+
+def test_empty_groupings():
+    assert pairwise_agreement([], []) == 1.0
+    assert best_match_overlap([], []) == 1.0
+    assert best_match_overlap(_g({1}), []) == 0.0
+    assert purity([], _g({1})) == 1.0
+
+
+def test_ignores_objects_outside_both():
+    a = _g({1, 2, 7})
+    b = _g({1, 2, 9})
+    # Pair (1,2) is shared; pairs with 7 / 9 fall outside the joint
+    # universe and must not count.
+    assert pairwise_agreement(a, b) == 1.0
+
+
+def test_symmetry_of_pairwise_and_best_match():
+    a = _g({1, 2, 3}, {4, 5})
+    b = _g({1, 2}, {3, 4, 5})
+    assert pairwise_agreement(a, b) == pairwise_agreement(b, a)
+    assert best_match_overlap(a, b) == pytest.approx(
+        best_match_overlap(b, a)
+    )
+
+
+def test_adapter_and_cross_parameter_use():
+    points = clustered_points(
+        [(2.0, 2.0), (6.0, 5.0)], per_cluster=120, noise=60, seed=1
+    )
+    objects = make_objects(points)
+    loose = grouping_of_clusters(dbscan(objects, 0.45, 4))
+    strict = grouping_of_clusters(dbscan(objects, 0.35, 6))
+    # Stricter parameters produce sub-clusters of the loose ones.
+    assert purity(strict, loose) > 0.9
+    assert 0.0 < pairwise_agreement(loose, strict) <= 1.0

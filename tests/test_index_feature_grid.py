@@ -1,0 +1,95 @@
+"""Unit tests for the non-locational feature grid index."""
+
+import random
+
+import pytest
+
+from repro.index.feature_grid import FeatureGridIndex
+
+
+def test_insert_and_range_query():
+    index = FeatureGridIndex((1.0, 1.0))
+    index.insert((0.5, 0.5), "a")
+    index.insert((5.0, 5.0), "b")
+    assert index.range_query((0.0, 0.0), (1.0, 1.0)) == ["a"]
+    assert set(index.range_query((0.0, 0.0), (10.0, 10.0))) == {"a", "b"}
+    assert index.range_query((2.0, 2.0), (3.0, 3.0)) == []
+
+
+def test_range_is_inclusive():
+    index = FeatureGridIndex((1.0,))
+    index.insert((2.0,), "x")
+    assert index.range_query((2.0,), (2.0,)) == ["x"]
+
+
+def test_matches_bruteforce_4d():
+    rng = random.Random(0)
+    index = FeatureGridIndex((10.0, 5.0, 1.0, 0.5))
+    entries = []
+    for i in range(500):
+        features = (
+            rng.uniform(0, 200),
+            rng.uniform(0, 100),
+            rng.uniform(0, 20),
+            rng.uniform(0, 8),
+        )
+        entries.append((features, i))
+        index.insert(features, i)
+    for _ in range(40):
+        lows = tuple(rng.uniform(0, 100) for _ in range(4))
+        highs = tuple(low + rng.uniform(0, 100) for low in lows)
+        expected = {
+            value
+            for features, value in entries
+            if all(l <= f <= h for f, l, h in zip(features, lows, highs))
+        }
+        assert set(index.range_query(lows, highs)) == expected
+
+
+def test_unbounded_dimension_with_infinity():
+    index = FeatureGridIndex((1.0, 1.0))
+    index.insert((0.5, 100.0), "far")
+    index.insert((0.5, 1.0), "near")
+    got = index.range_query((0.0, 0.0), (1.0, float("inf")))
+    assert set(got) == {"far", "near"}
+
+
+def test_empty_index_range_query():
+    index = FeatureGridIndex((1.0,))
+    assert index.range_query((0.0,), (10.0,)) == []
+
+
+def test_remove_entry():
+    index = FeatureGridIndex((1.0,))
+    value = object()
+    index.insert((3.0,), value)
+    assert len(index) == 1
+    assert index.remove((3.0,), value)
+    assert len(index) == 0
+    assert not index.remove((3.0,), value)
+
+
+def test_remove_requires_identity():
+    index = FeatureGridIndex((1.0,))
+    index.insert((3.0,), "a")
+    assert not index.remove((3.0,), "different")
+    assert len(index) == 1
+
+
+def test_dimension_validation():
+    index = FeatureGridIndex((1.0, 1.0))
+    with pytest.raises(ValueError):
+        index.insert((1.0,), "x")
+    with pytest.raises(ValueError):
+        index.range_query((0.0,), (1.0,))
+    with pytest.raises(ValueError):
+        FeatureGridIndex(())
+    with pytest.raises(ValueError):
+        FeatureGridIndex((0.0,))
+
+
+def test_items():
+    index = FeatureGridIndex((1.0,))
+    index.insert((1.0,), "a")
+    index.insert((2.0,), "b")
+    assert sorted(value for _, value in index.items()) == ["a", "b"]

@@ -1,0 +1,137 @@
+"""Unit tests for the uniform grid index (range-query substrate)."""
+
+import math
+import random
+
+import pytest
+
+from conftest import make_objects
+from repro.geometry.distance import euclidean_distance
+from repro.index.grid_index import GridIndex, cell_side_for_range
+
+
+def test_cell_side_diagonal_equals_theta_range():
+    for dims in (1, 2, 3, 4):
+        side = cell_side_for_range(0.5, dims)
+        assert side * math.sqrt(dims) == pytest.approx(0.5)
+
+
+def test_cell_side_validation():
+    with pytest.raises(ValueError):
+        cell_side_for_range(0.0, 2)
+    with pytest.raises(ValueError):
+        cell_side_for_range(1.0, 0)
+
+
+def test_same_cell_objects_are_neighbors():
+    # The defining property of the grid sizing (Section 4.3).
+    index = GridIndex(1.0, 2)
+    rng = random.Random(0)
+    side = index.side
+    points = [
+        (rng.uniform(0, side * 0.999), rng.uniform(0, side * 0.999))
+        for _ in range(50)
+    ]
+    for a in points:
+        for b in points:
+            assert euclidean_distance(a, b) <= 1.0 + 1e-9
+
+
+def test_range_query_matches_bruteforce():
+    rng = random.Random(1)
+    points = [(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(300)]
+    objects = make_objects(points)
+    index = GridIndex(0.4, 2)
+    index.bulk_load(objects)
+    for probe in objects[:40]:
+        expected = {
+            obj.oid
+            for obj in objects
+            if obj.oid != probe.oid
+            and euclidean_distance(obj.coords, probe.coords) <= 0.4
+        }
+        got = {
+            obj.oid
+            for obj in index.range_query(probe.coords, exclude_oid=probe.oid)
+        }
+        assert got == expected
+
+
+def test_range_query_matches_bruteforce_4d():
+    rng = random.Random(2)
+    points = [tuple(rng.uniform(0, 1) for _ in range(4)) for _ in range(200)]
+    objects = make_objects(points)
+    index = GridIndex(0.2, 4)
+    index.bulk_load(objects)
+    for probe in objects[:20]:
+        expected = {
+            obj.oid
+            for obj in objects
+            if obj.oid != probe.oid
+            and euclidean_distance(obj.coords, probe.coords) <= 0.2
+        }
+        got = {
+            obj.oid
+            for obj in index.range_query(probe.coords, exclude_oid=probe.oid)
+        }
+        assert got == expected
+
+
+def test_range_query_includes_boundary():
+    objects = make_objects([(0.0, 0.0), (0.3, 0.4)])  # distance exactly 0.5
+    index = GridIndex(0.5, 2)
+    index.bulk_load(objects)
+    got = index.range_query((0.0, 0.0), exclude_oid=0)
+    assert [obj.oid for obj in got] == [1]
+
+
+def test_negative_coordinates():
+    objects = make_objects([(-1.05, -1.05), (-1.0, -1.0), (1.0, 1.0)])
+    index = GridIndex(0.5, 2)
+    index.bulk_load(objects)
+    got = {o.oid for o in index.range_query((-1.0, -1.0), exclude_oid=1)}
+    assert got == {0}
+
+
+def test_remove_and_len():
+    objects = make_objects([(0.0, 0.0), (0.1, 0.1)])
+    index = GridIndex(0.5, 2)
+    index.bulk_load(objects)
+    assert len(index) == 2
+    index.remove(objects[0])
+    assert len(index) == 1
+    assert {o.oid for o in index} == {1}
+    with pytest.raises(KeyError):
+        index.remove(objects[0])
+
+
+def test_purge_expired():
+    objects = make_objects([(0.0, 0.0)], last_window=3) + make_objects(
+        [(5.0, 5.0)], last_window=10
+    )
+    objects[1].oid = 1
+    index = GridIndex(0.5, 2)
+    index.bulk_load(objects)
+    removed = index.purge_expired(5)
+    assert removed == 1
+    assert len(index) == 1
+
+
+def test_occupied_cells_and_population():
+    index = GridIndex(1.0, 2)
+    objects = make_objects([(0.1, 0.1), (0.2, 0.2), (5.0, 5.0)])
+    index.bulk_load(objects)
+    cells = list(index.occupied_cells())
+    assert len(cells) == 2
+    populations = sorted(index.cell_population(c) for c in cells)
+    assert populations == [1, 2]
+
+
+def test_objects_in_cell_returns_copy():
+    index = GridIndex(1.0, 2)
+    objects = make_objects([(0.1, 0.1)])
+    index.bulk_load(objects)
+    coord = index.cell_coord((0.1, 0.1))
+    listing = index.objects_in_cell(coord)
+    listing.clear()
+    assert index.cell_population(coord) == 1

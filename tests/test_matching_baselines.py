@@ -1,0 +1,145 @@
+"""Unit tests for the baseline matchers (CRD, RSP subset match, SkPS GED)."""
+
+import pytest
+
+from conftest import clustered_points, make_objects
+from repro.clustering.dbscan import dbscan
+from repro.matching.crd_match import crd_distance
+from repro.matching.graph_edit import graph_edit_distance
+from repro.matching.subset_match import subset_match_distance
+from repro.summaries.crd import CRDSummarizer
+from repro.summaries.rsp import RSP, RSPSummarizer
+from repro.summaries.skps import SkPS, SkPSSummarizer
+
+
+def _cluster(center, n=80, seed=1, std=0.2):
+    points = clustered_points([center], per_cluster=n, seed=seed, std=std)
+    clusters = dbscan(make_objects(points), 0.4, 4)
+    return max(clusters, key=lambda c: c.size)
+
+
+# ---------------------------------------------------------------------------
+# CRD
+# ---------------------------------------------------------------------------
+
+
+def test_crd_self_distance_zero():
+    crd = CRDSummarizer().summarize(_cluster((2.0, 2.0)))
+    assert crd_distance(crd, crd) == 0.0
+
+
+def test_crd_translation_invariant_when_position_insensitive():
+    a = CRDSummarizer().summarize(_cluster((2.0, 2.0), seed=5))
+    b = CRDSummarizer().summarize(_cluster((50.0, 50.0), seed=5))
+    assert crd_distance(a, b, position_sensitive=False) < 0.1
+
+
+def test_crd_position_sensitive_disjoint_max():
+    a = CRDSummarizer().summarize(_cluster((2.0, 2.0), seed=5))
+    b = CRDSummarizer().summarize(_cluster((50.0, 50.0), seed=5))
+    assert crd_distance(a, b, position_sensitive=True) == 1.0
+
+
+def test_crd_size_difference_matters():
+    small = CRDSummarizer().summarize(_cluster((2.0, 2.0), n=40, std=0.1))
+    large = CRDSummarizer().summarize(_cluster((2.0, 2.0), n=200, std=0.5))
+    assert crd_distance(small, large) > 0.1
+
+
+def test_crd_dimension_mismatch():
+    from repro.summaries.crd import CRD
+
+    a = CRD((0.0, 0.0), 1.0, 1.0, 10)
+    b = CRD((0.0, 0.0, 0.0), 1.0, 1.0, 10)
+    with pytest.raises(ValueError):
+        crd_distance(a, b)
+
+
+# ---------------------------------------------------------------------------
+# RSP subset match
+# ---------------------------------------------------------------------------
+
+
+def test_rsp_self_distance_zero():
+    rsp = RSPSummarizer(rate=0.2, seed=1).summarize(_cluster((2.0, 2.0)))
+    assert subset_match_distance(rsp, rsp) == 0.0
+
+
+def test_rsp_translation_invariant():
+    base = RSPSummarizer(rate=0.3, seed=2).summarize(_cluster((2.0, 2.0)))
+    shifted = RSP(
+        tuple((x + 30.0, y - 12.0) for x, y in base.points),
+        base.population,
+    )
+    assert subset_match_distance(base, shifted) == pytest.approx(0.0, abs=1e-9)
+    assert subset_match_distance(
+        base, shifted, position_sensitive=True
+    ) > 0.5
+
+
+def test_rsp_different_shapes_positive_distance():
+    a = RSPSummarizer(rate=0.3, seed=3).summarize(
+        _cluster((2.0, 2.0), std=0.1)
+    )
+    b = RSPSummarizer(rate=0.3, seed=3).summarize(
+        _cluster((2.0, 2.0), std=0.6, seed=9)
+    )
+    assert subset_match_distance(a, b) > 0.0
+
+
+def test_rsp_bounded():
+    a = RSPSummarizer(rate=0.3, seed=4).summarize(_cluster((2.0, 2.0)))
+    b = RSPSummarizer(rate=0.3, seed=4).summarize(_cluster((9.0, 9.0), seed=8))
+    assert 0.0 <= subset_match_distance(a, b) <= 1.0
+
+
+def test_rsp_empty_rejected():
+    good = RSPSummarizer(rate=0.3, seed=5).summarize(_cluster((2.0, 2.0)))
+    with pytest.raises(ValueError):
+        subset_match_distance(good, RSP((), 0))
+
+
+# ---------------------------------------------------------------------------
+# SkPS graph edit distance
+# ---------------------------------------------------------------------------
+
+
+def test_ged_self_distance_zero():
+    skps = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0)))
+    assert graph_edit_distance(skps, skps) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_ged_translation_invariant():
+    base = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0)))
+    shifted = SkPS(
+        tuple((x + 20.0, y + 20.0) for x, y in base.points),
+        base.edges,
+        base.population,
+    )
+    assert graph_edit_distance(base, shifted) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_ged_detects_structure_difference():
+    a = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0), n=60, std=0.15))
+    b = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0), n=200, std=0.6, seed=4))
+    assert graph_edit_distance(a, b) > 0.05
+
+
+def test_ged_bounded():
+    a = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0), seed=6))
+    b = SkPSSummarizer(0.4).summarize(_cluster((5.0, 5.0), n=30, seed=7))
+    assert 0.0 <= graph_edit_distance(a, b) <= 1.0
+
+
+def test_ged_beam_width_improves_or_equals():
+    a = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0), n=60, seed=8))
+    b = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0), n=70, std=0.3, seed=9))
+    narrow = graph_edit_distance(a, b, beam_width=1)
+    wide = graph_edit_distance(a, b, beam_width=16)
+    assert wide <= narrow + 1e-9
+
+
+def test_ged_empty_rejected():
+    good = SkPSSummarizer(0.4).summarize(_cluster((2.0, 2.0)))
+    with pytest.raises(ValueError):
+        graph_edit_distance(good, SkPS((), frozenset(), 0))

@@ -1,0 +1,106 @@
+"""Unit tests for the grid-cell-level cluster match."""
+
+import pytest
+
+from repro.core.cells import CellStatus, SkeletalGridCell
+from repro.core.sgs import SGS
+from repro.matching.cell_match import cell_level_distance
+from repro.matching.metric import DistanceMetricSpec
+
+
+def _sgs(locations, populations=None, side=0.5, statuses=None, conns=None):
+    cells = []
+    for i, loc in enumerate(locations):
+        pop = populations[i] if populations else 5
+        status = statuses[i] if statuses else CellStatus.CORE
+        conn = conns[i] if conns else frozenset()
+        cells.append(SkeletalGridCell(loc, side, pop, status, frozenset(conn)))
+    return SGS(cells, side)
+
+
+def test_identical_sgs_zero_distance():
+    sgs = _sgs([(0, 0), (1, 0)])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(sgs, sgs, spec) == 0.0
+
+
+def test_translated_sgs_zero_under_matching_alignment():
+    a = _sgs([(0, 0), (1, 0)])
+    b = _sgs([(10, 5), (11, 5)])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, b, spec, alignment=(10, 5)) == 0.0
+    assert cell_level_distance(a, b, spec, alignment=(0, 0)) == 1.0
+
+
+def test_disjoint_is_max_distance():
+    a = _sgs([(0, 0)])
+    b = _sgs([(9, 9)])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, b, spec) == 1.0
+
+
+def test_population_difference_increases_distance():
+    a = _sgs([(0, 0)], populations=[10])
+    near = _sgs([(0, 0)], populations=[11])
+    far = _sgs([(0, 0)], populations=[40])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, near, spec) < cell_level_distance(
+        a, far, spec
+    )
+
+
+def test_status_mismatch_costs():
+    a = _sgs([(0, 0)], statuses=[CellStatus.CORE])
+    b = _sgs([(0, 0)], statuses=[CellStatus.EDGE])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, b, spec) > 0.0
+
+
+def test_connection_difference_costs():
+    a = _sgs([(0, 0), (1, 0)], conns=[{(1, 0)}, {(0, 0)}])
+    b = _sgs([(0, 0), (1, 0)], conns=[frozenset(), frozenset()])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, b, spec) > 0.0
+
+
+def test_connections_normalized_by_alignment():
+    # Shifting both cells and their connection targets leaves distance 0.
+    a = _sgs([(0, 0), (1, 0)], conns=[{(1, 0)}, {(0, 0)}])
+    b = _sgs([(4, 4), (5, 4)], conns=[{(5, 4)}, {(4, 4)}])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, b, spec, alignment=(4, 4)) == pytest.approx(
+        0.0
+    )
+
+
+def test_symmetry():
+    a = _sgs([(0, 0), (1, 0), (1, 1)], populations=[3, 6, 9])
+    b = _sgs([(0, 0), (0, 1)], populations=[4, 4])
+    spec = DistanceMetricSpec()
+    assert cell_level_distance(a, b, spec) == pytest.approx(
+        cell_level_distance(b, a, spec)
+    )
+
+
+def test_range_is_zero_one():
+    a = _sgs([(0, 0), (1, 0), (2, 0)], populations=[1, 2, 3])
+    b = _sgs([(0, 0), (5, 5)], populations=[9, 9])
+    spec = DistanceMetricSpec()
+    d = cell_level_distance(a, b, spec)
+    assert 0.0 <= d <= 1.0
+
+
+def test_position_sensitive_rejects_nonzero_alignment():
+    a = _sgs([(0, 0)])
+    spec = DistanceMetricSpec(position_sensitive=True)
+    with pytest.raises(ValueError):
+        cell_level_distance(a, a, spec, alignment=(1, 0))
+
+
+def test_dimension_mismatch_rejected():
+    a = _sgs([(0, 0)])
+    cells = [SkeletalGridCell((0, 0, 0), 0.5, 1, CellStatus.CORE)]
+    b = SGS(cells, 0.5)
+    spec = DistanceMetricSpec()
+    with pytest.raises(ValueError):
+        cell_level_distance(a, b, spec)

@@ -1,0 +1,88 @@
+"""Property-based cross-validation of the range-query indices and the
+per-tuple incremental clusterer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_objects
+from repro.clustering.cluster import partition_signature
+from repro.clustering.dbscan import dbscan
+from repro.clustering.inc_dbscan import IncrementalDBSCAN
+from repro.geometry.distance import euclidean_distance
+from repro.index.grid_index import GridIndex
+from repro.index.kdtree import KDTree
+
+_coords = st.floats(min_value=-20, max_value=20, allow_nan=False)
+_points = st.lists(st.tuples(_coords, _coords), min_size=1, max_size=100)
+_radius = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+
+
+@given(_points, _radius)
+@settings(max_examples=40, deadline=None)
+def test_kdtree_and_grid_agree_with_bruteforce(points, radius):
+    objects = make_objects(points)
+    grid = GridIndex(radius, 2)
+    grid.bulk_load(objects)
+    tree = KDTree(objects, 2)
+    probe = objects[0]
+    brute = {
+        o.oid
+        for o in objects
+        if o.oid != probe.oid
+        and euclidean_distance(o.coords, probe.coords) <= radius
+    }
+    from_grid = {
+        o.oid for o in grid.range_query(probe.coords, exclude_oid=probe.oid)
+    }
+    from_tree = {
+        o.oid
+        for o in tree.range_query(probe.coords, radius, exclude_oid=probe.oid)
+    }
+    assert from_grid == brute
+    assert from_tree == brute
+
+
+@st.composite
+def _op_sequences(draw):
+    """Random interleavings of insertions and deletions."""
+    n_ops = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    alive = 0
+    for _ in range(n_ops):
+        if alive > 0 and draw(st.booleans()) and draw(st.booleans()):
+            victim = draw(st.integers(min_value=0, max_value=alive - 1))
+            ops.append(("delete", victim))
+            alive -= 1
+        else:
+            point = draw(
+                st.tuples(
+                    st.floats(min_value=0, max_value=3, allow_nan=False),
+                    st.floats(min_value=0, max_value=3, allow_nan=False),
+                )
+            )
+            ops.append(("insert", point))
+            alive += 1
+    return ops
+
+
+@given(_op_sequences(), st.integers(min_value=2, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_incremental_dbscan_matches_static_under_any_op_sequence(
+    ops, theta_count
+):
+    theta_range = 0.5
+    inc = IncrementalDBSCAN(theta_range, theta_count, 2)
+    alive = []
+    next_oid = 0
+    for op, arg in ops:
+        if op == "insert":
+            obj = make_objects([arg])[0]
+            obj.oid = next_oid
+            next_oid += 1
+            inc.insert(obj)
+            alive.append(obj)
+        else:
+            victim = alive.pop(arg)
+            inc.delete(victim)
+    expected = partition_signature(dbscan(alive, theta_range, theta_count))
+    assert partition_signature(inc.clusters()) == expected

@@ -1,0 +1,163 @@
+"""Unit tests for the textual query parser (Figures 2 and 3)."""
+
+import pytest
+
+from repro.config import ClusterMatchingQuery, ContinuousClusteringQuery
+from repro.query.parser import QueryParseError, parse_query
+from repro.streams.windows import CountBasedWindowSpec, TimeBasedWindowSpec
+
+
+def test_detect_count_based():
+    query = parse_query(
+        """
+        DETECT DensityBasedClusters f+s FROM stream
+        USING theta_range = 0.1 AND theta_cnt = 8
+        IN Windows WITH win = 10000 AND slide = 1000
+        """,
+        dimensions=4,
+    )
+    assert isinstance(query, ContinuousClusteringQuery)
+    assert query.theta_range == pytest.approx(0.1)
+    assert query.theta_count == 8
+    assert query.dimensions == 4
+    assert isinstance(query.window, CountBasedWindowSpec)
+    assert query.window.win == 10000 and query.window.slide == 1000
+
+
+def test_detect_time_based():
+    query = parse_query(
+        "DETECT DensityBasedClusters FROM trades "
+        "USING theta_range = 2.5 AND theta_count = 8 "
+        "IN Windows WITH win = 60s AND slide = 10s",
+        dimensions=2,
+    )
+    assert isinstance(query.window, TimeBasedWindowSpec)
+    assert query.window.win == pytest.approx(60.0)
+    assert query.window.slide == pytest.approx(10.0)
+
+
+def test_detect_minute_unit():
+    query = parse_query(
+        "DETECT DensityBasedClusters FROM s USING theta_range=1 AND "
+        "theta_cnt=3 IN Windows WITH win=2m AND slide=1m",
+        dimensions=2,
+    )
+    assert query.window.win == pytest.approx(120.0)
+
+
+def test_detect_case_insensitive_and_semicolon():
+    query = parse_query(
+        "detect densitybasedclusters F+S from stream using "
+        "THETA_RANGE=0.2 and THETA_CNT=5 in windows with WIN=100 "
+        "and SLIDE=50;",
+        dimensions=2,
+    )
+    assert query.theta_count == 5
+
+
+def test_detect_requires_dimensions():
+    with pytest.raises(QueryParseError):
+        parse_query(
+            "DETECT DensityBasedClusters FROM s USING theta_range=1 AND "
+            "theta_cnt=3 IN Windows WITH win=10 AND slide=5"
+        )
+
+
+def test_detect_mixed_units_rejected():
+    with pytest.raises(QueryParseError):
+        parse_query(
+            "DETECT DensityBasedClusters FROM s USING theta_range=1 AND "
+            "theta_cnt=3 IN Windows WITH win=10s AND slide=5",
+            dimensions=2,
+        )
+
+
+def test_detect_fractional_count_rejected():
+    with pytest.raises(QueryParseError):
+        parse_query(
+            "DETECT DensityBasedClusters FROM s USING theta_range=1 AND "
+            "theta_cnt=3 IN Windows WITH win=10.5 AND slide=5",
+            dimensions=2,
+        )
+
+
+def test_match_basic():
+    query = parse_query(
+        "GIVEN DensityBasedClusters C1 SELECT DensityBasedClusters "
+        "FROM History WHERE Distance <= 0.25"
+    )
+    assert isinstance(query, ClusterMatchingQuery)
+    assert query.sim_threshold == pytest.approx(0.25)
+    assert not query.metric.position_sensitive
+    assert query.top_k is None
+
+
+def test_match_with_paper_style_distance_args():
+    query = parse_query(
+        "GIVEN DensityBasedClusters Ci SELECT DensityBasedClusters Cj "
+        "FROM History WHERE Distance(Ci, Cj) <= 0.3"
+    )
+    assert query.sim_threshold == pytest.approx(0.3)
+
+
+def test_match_position_sensitive():
+    query = parse_query(
+        "GIVEN DensityBasedClusters C SELECT DensityBasedClusters FROM "
+        "History WHERE Distance <= 0.2 USING position_sensitive"
+    )
+    assert query.metric.position_sensitive
+
+
+def test_match_with_weights_and_topk():
+    query = parse_query(
+        "GIVEN DensityBasedClusters C SELECT DensityBasedClusters FROM "
+        "History WHERE Distance <= 0.2 "
+        "WEIGHT volume = 0.1 AND core_count = 0.2 AND avg_density = 0.4 "
+        "AND avg_connectivity = 0.3 TOP 5"
+    )
+    assert query.metric.weights["avg_density"] == pytest.approx(0.4)
+    assert query.top_k == 5
+
+
+def test_match_invalid_weights_rejected():
+    with pytest.raises(ValueError):
+        parse_query(
+            "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+            "FROM History WHERE Distance <= 0.2 WEIGHT volume = 0.9"
+        )
+
+
+def test_unrecognized_query():
+    with pytest.raises(QueryParseError):
+        parse_query("SELECT * FROM everything")
+
+
+def test_parsed_query_runs_end_to_end():
+    from repro.data.synthetic import DriftingBlobStream
+    from repro.system.framework import StreamPatternMiningSystem
+
+    query = parse_query(
+        "DETECT DensityBasedClusters f+s FROM stream USING "
+        "theta_range = 0.3 AND theta_cnt = 5 IN Windows WITH "
+        "win = 400 AND slide = 200",
+        dimensions=2,
+    )
+    system = StreamPatternMiningSystem(
+        query.theta_range, query.theta_count, query.dimensions, query.window
+    )
+    outputs = system.run(DriftingBlobStream(seed=6).objects(1200))
+    assert outputs
+    matching = parse_query(
+        "GIVEN DensityBasedClusters C SELECT DensityBasedClusters FROM "
+        "History WHERE Distance <= 0.4 TOP 3"
+    )
+    target = next(
+        sgs for output in reversed(outputs) for sgs in output.summaries
+    )
+    results, _ = system.match(
+        target,
+        matching.sim_threshold,
+        top_k=matching.top_k,
+        spec=matching.metric,
+    )
+    assert len(results) <= 3

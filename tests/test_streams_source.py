@@ -1,0 +1,58 @@
+"""Unit tests for stream sources."""
+
+import pytest
+
+from repro.streams.source import ListSource, RateFluctuatingSource
+
+
+def test_list_source_assigns_sequential_oids():
+    source = ListSource([(1.0,), (2.0,), (3.0,)])
+    objects = list(source)
+    assert [obj.oid for obj in objects] == [0, 1, 2]
+    assert objects[1].coords == (2.0,)
+
+
+def test_list_source_start_oid():
+    source = ListSource([(1.0,)], start_oid=100)
+    assert next(iter(source)).oid == 100
+
+
+def test_list_source_default_timestamps_are_arrival_order():
+    objects = list(ListSource([(0.0,), (0.0,)]))
+    assert objects[0].timestamp == 0.0
+    assert objects[1].timestamp == 1.0
+
+
+def test_list_source_explicit_timestamps():
+    objects = list(ListSource([(0.0,), (0.0,)], timestamps=[5.0, 9.0]))
+    assert [obj.timestamp for obj in objects] == [5.0, 9.0]
+
+
+def test_list_source_timestamp_length_mismatch():
+    with pytest.raises(ValueError):
+        ListSource([(0.0,)], timestamps=[1.0, 2.0])
+
+
+def test_rate_fluctuating_source_monotone_time():
+    source = RateFluctuatingSource(
+        [(float(i),) for i in range(500)], base_rate=50.0, amplitude=0.5
+    )
+    objects = list(source)
+    times = [obj.timestamp for obj in objects]
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_rate_fluctuating_source_rate_actually_varies():
+    source = RateFluctuatingSource(
+        [(0.0,)] * 2000, base_rate=100.0, amplitude=0.8, period=1000
+    )
+    times = [obj.timestamp for obj in source]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert max(gaps) > 2 * min(gaps)
+
+
+def test_rate_fluctuating_validation():
+    with pytest.raises(ValueError):
+        RateFluctuatingSource([], amplitude=1.5)
+    with pytest.raises(ValueError):
+        RateFluctuatingSource([], base_rate=0.0)

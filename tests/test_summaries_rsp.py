@@ -1,0 +1,61 @@
+"""Unit tests for the RSP (random sampling) summarizer."""
+
+import pytest
+
+from conftest import make_objects
+from repro.clustering.cluster import Cluster
+from repro.summaries.rsp import RSPSummarizer
+
+
+def _cluster(n=100):
+    return Cluster(0, make_objects([(float(i), 0.0) for i in range(n)]), [])
+
+
+def test_rate_controls_sample_size():
+    rsp = RSPSummarizer(rate=0.1, seed=1).summarize(_cluster(100))
+    assert rsp.sample_size == 10
+    assert rsp.population == 100
+
+
+def test_minimum_one_sample():
+    rsp = RSPSummarizer(rate=0.001, seed=1).summarize(_cluster(10))
+    assert rsp.sample_size == 1
+
+
+def test_budget_matched_sampling():
+    # Paper protocol: RSP gets the same memory budget as the SGS of the
+    # same cluster — expressed here as a cell-count callback.
+    summarizer = RSPSummarizer(budget_cells=lambda cluster: 17, seed=1)
+    rsp = summarizer.summarize(_cluster(100))
+    assert rsp.sample_size == 17
+
+
+def test_budget_capped_by_members():
+    summarizer = RSPSummarizer(budget_cells=lambda cluster: 1000, seed=1)
+    rsp = summarizer.summarize(_cluster(10))
+    assert rsp.sample_size == 10
+
+
+def test_samples_are_members():
+    cluster = _cluster(50)
+    member_coords = {obj.coords for obj in cluster.members}
+    rsp = RSPSummarizer(rate=0.2, seed=2).summarize(cluster)
+    assert all(point in member_coords for point in rsp.points)
+
+
+def test_deterministic_with_seed():
+    a = RSPSummarizer(rate=0.2, seed=3).summarize(_cluster(50))
+    b = RSPSummarizer(rate=0.2, seed=3).summarize(_cluster(50))
+    assert a.points == b.points
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        RSPSummarizer(rate=0.0)
+    with pytest.raises(ValueError):
+        RSPSummarizer(rate=1.5)
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(ValueError):
+        RSPSummarizer().summarize(Cluster(0, [], []))
