@@ -1,0 +1,92 @@
+"""Index-backend ablation: C-SGS on the Figure-7 workload per backend.
+
+Runs the same scaled-down Figure-7 configuration (STT-like 4-D stream,
+win=2000) once per NeighborProvider backend — grid, kdtree, rtree — and
+reports average per-window response time plus the per-window cluster
+counts, which must be identical across backends (the parity suite checks
+object-level equality; this bench re-checks it at workload scale while
+timing the search layer, the dominant insertion cost per Section 5.3).
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import SLIDES, STT_CASES, WIN, batches_over, report, stt_points
+from repro.core.csgs import CSGS
+from repro.eval.harness import Table, fmt_seconds
+from repro.index import available_backends
+
+MEASURE_WINDOWS = 4
+
+_cache = {}
+
+
+def _run_backend(backend: str, case, slide: int):
+    key = (backend, case, slide)
+    if key not in _cache:
+        theta_range, theta_count = case
+        points = stt_points(WIN + MEASURE_WINDOWS * slide, seed=0)
+        csgs = CSGS(theta_range, theta_count, 4, backend=backend)
+        window_times = []
+        cluster_counts = []
+        produced = 0
+        for batch in batches_over(points, WIN, slide):
+            start = time.perf_counter()
+            output = csgs.process_batch(batch)
+            window_times.append(time.perf_counter() - start)
+            cluster_counts.append(len(output.clusters))
+            produced += 1
+            if produced >= MEASURE_WINDOWS:
+                break
+        _cache[key] = (
+            sum(window_times) / len(window_times),
+            cluster_counts,
+        )
+    return _cache[key]
+
+
+def test_index_backends_agree(benchmark):
+    """All backends produce the same per-window cluster counts."""
+    case, slide = STT_CASES[1], SLIDES[1]
+    counts = {
+        backend: _run_backend(backend, case, slide)[1]
+        for backend in available_backends()
+    }
+    reference = counts["grid"]
+    for backend, observed in counts.items():
+        assert observed == reference, (
+            f"{backend} cluster counts diverge: {observed} != {reference}"
+        )
+    benchmark.pedantic(
+        lambda: _run_backend("grid", case, slide), rounds=1, iterations=1
+    )
+
+
+def test_index_backends_report(benchmark):
+    """Print the backend comparison grid over the Figure-7 cases."""
+    table = Table(
+        "Index backends — C-SGS avg response time per window "
+        "(Figure-7 workload, STT-like 4-D)",
+        ["case (thr,thc)", "slide"]
+        + list(available_backends())
+        + ["clusters"],
+    )
+    for case in STT_CASES:
+        slide = SLIDES[1]
+        results = {
+            backend: _run_backend(backend, case, slide)
+            for backend in available_backends()
+        }
+        table.add_row(
+            f"({case[0]}, {case[1]})",
+            slide,
+            *[fmt_seconds(results[b][0]) for b in available_backends()],
+            results["grid"][1][-1],
+        )
+    report(table.render())
+    benchmark.pedantic(
+        lambda: _run_backend("grid", STT_CASES[1], SLIDES[1]),
+        rounds=1,
+        iterations=1,
+    )

@@ -3,11 +3,25 @@
 pytest captures stdout at the file-descriptor level, so the per-bench
 tables are queued in ``common.REPORT_LINES`` and emitted here, in the
 terminal summary, where they reach the real terminal (and any ``tee``).
+
+The benchmark suite is *not* part of default collection (pyproject's
+``testpaths`` points at ``tests/``); run it explicitly with
+``pytest benchmarks``. ``benchmarks/`` is a plain directory, not a
+package, so its own directory is put on ``sys.path`` here — before the
+bench modules are imported — making ``import common`` work no matter
+where pytest is invoked from.
 """
 
 from __future__ import annotations
 
-import common
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+import common  # noqa: E402  (needs the sys.path entry above)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -27,9 +27,7 @@ query = ContinuousClusteringQuery.count_based(
     theta_range=0.3, theta_count=5, dimensions=2, win=500, slide=100
 )
 
-system = StreamPatternMiningSystem(
-    query.theta_range, query.theta_count, query.dimensions, query.window
-)
+system = StreamPatternMiningSystem.from_query(query)
 
 # -- 2. Run the stream ------------------------------------------------------
 stream = DriftingBlobStream(n_blobs=3, noise_fraction=0.25, seed=42)

@@ -18,9 +18,7 @@ Quickstart::
     query = ContinuousClusteringQuery.count_based(
         theta_range=0.3, theta_count=5, dimensions=2, win=500, slide=100,
     )
-    system = StreamPatternMiningSystem(
-        query.theta_range, query.theta_count, query.dimensions, query.window,
-    )
+    system = StreamPatternMiningSystem.from_query(query)
     stream = DriftingBlobStream(seed=1)
     for output in system.run_steps(stream.objects(5000)):
         print(output.window_index, len(output.clusters))

@@ -32,6 +32,7 @@ from repro.core.serialize import sgs_from_json, sgs_to_json
 from repro.data.gmti import GMTIStream
 from repro.data.stt import STTStream
 from repro.data.synthetic import DriftingBlobStream
+from repro.index.provider import available_backends
 from repro.matching.metric import DistanceMetricSpec
 from repro.archive.analyzer import PatternAnalyzer
 from repro.streams.objects import StreamObject
@@ -89,6 +90,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     system = StreamPatternMiningSystem(
         args.theta_range, args.theta_count, dimensions, window,
         archive_level=args.level,
+        index_backend=args.index_backend,
     )
     for output in system.run_steps(objects, max_windows=args.max_windows):
         digest = ", ".join(
@@ -184,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--timestamp-column", type=int, default=None,
         help="CSV column holding event time (time-based windows)",
+    )
+    run.add_argument(
+        "--index-backend",
+        choices=available_backends(),
+        default="grid",
+        help="neighbor-search backend for range queries",
     )
     run.add_argument("--level", type=int, default=0, help="archive resolution")
     run.add_argument("--max-windows", type=int, default=None)

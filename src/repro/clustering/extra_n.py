@@ -64,7 +64,14 @@ class _UnionFind:
 class ExtraN:
     """Incremental density-based clustering with predicted views."""
 
-    def __init__(self, theta_range: float, theta_count: int, dimensions: int):
+    def __init__(
+        self,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        provider=None,
+        backend=None,
+    ):
         self.theta_range = float(theta_range)
         self.theta_count = int(theta_count)
         self.dimensions = int(dimensions)
@@ -74,6 +81,11 @@ class ExtraN:
             dimensions,
             on_insert=self._handle_insert,
             on_extension=self._handle_extension,
+            provider=provider,
+            backend=backend,
+            # Extra-N never reads per-cell contents; skip the substrate
+            # bookkeeping on non-cell-backed backends.
+            maintain_cells=False,
         )
         # One union-find per future window ("view"), created lazily.
         self._views: Dict[int, _UnionFind] = {}

@@ -24,22 +24,38 @@ therefore does none of the deletion work this algorithm must do.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.clustering.cluster import Cluster
-from repro.index.grid_index import GridIndex
+from repro.index.provider import NeighborProvider, resolve_provider
 from repro.streams.objects import StreamObject
 from repro.streams.windows import WindowBatch
 
 
 class IncrementalDBSCAN:
-    """Maintains DBSCAN clusters under object insertions and deletions."""
+    """Maintains DBSCAN clusters under object insertions and deletions.
 
-    def __init__(self, theta_range: float, theta_count: int, dimensions: int):
+    Neighbor search runs through any
+    :class:`~repro.index.provider.NeighborProvider` backend (grid by
+    default) — this baseline issues *many* range queries per deletion,
+    which is exactly the cost profile ablation E10 contrasts with the
+    lifespan-based methods.
+    """
+
+    def __init__(
+        self,
+        theta_range: float,
+        theta_count: int,
+        dimensions: int,
+        provider: Optional[NeighborProvider] = None,
+        backend: Optional[str] = None,
+    ):
         self.theta_range = float(theta_range)
         self.theta_count = int(theta_count)
         self.dimensions = int(dimensions)
-        self.grid = GridIndex(theta_range, dimensions)
+        self.grid = resolve_provider(
+            provider, backend, theta_range, dimensions
+        )
         self._objects: Dict[int, StreamObject] = {}
         self._neighbor_count: Dict[int, int] = {}
         # Cluster labels for core objects only; edges resolve at output.

@@ -4,10 +4,17 @@ The paper's lineage includes a shared execution strategy for multiple
 density-based pattern mining requests (Yang et al., PVLDB 2009, cited as
 [17]); this module provides the analogous capability for C-SGS: several
 Continuous Clustering Queries that agree on θr and the window spec but
-differ in θc are answered with **one grid index and one range query per
-new object**, instead of one per query. Since the range-query search
-dominates insertion cost, k co-executing queries cost far less than k
-independent pipelines (ablation E9 quantifies it).
+differ in θc are answered with **one neighbor-search provider and one
+range query per new object**, instead of one per query. Since the
+range-query search dominates insertion cost, k co-executing queries cost
+far less than k independent pipelines (ablation E9 quantifies it).
+
+The shared provider is any :class:`~repro.index.provider.NeighborProvider`
+backend (grid by default, selectable by name), and the per-slide lookups
+run through its batched ``range_query_many`` fast path: one pass per
+window batch, with each object's neighbor list filtered to
+already-arrived objects so member pipelines observe exactly the
+object-at-a-time semantics.
 
 Correctness is unchanged: each member query maintains its own careers,
 cell lifespans, and output (tested equal to an independent C-SGS run).
@@ -15,10 +22,15 @@ cell lifespans, and output (tested equal to an independent C-SGS run).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.csgs import CSGS, WindowOutput
-from repro.index.grid_index import GridIndex
+from repro.index.grid_index import CellMap
+from repro.index.provider import (
+    NeighborProvider,
+    batched_neighborhoods,
+    resolve_provider,
+)
 from repro.streams.objects import StreamObject
 from repro.streams.windows import WindowBatch
 
@@ -31,6 +43,8 @@ class SharedCSGS:
         theta_range: float,
         theta_counts: Sequence[int],
         dimensions: int,
+        provider: Optional[NeighborProvider] = None,
+        backend: Optional[str] = None,
     ):
         if not theta_counts:
             raise ValueError("need at least one theta_count")
@@ -39,14 +53,25 @@ class SharedCSGS:
         self.theta_range = float(theta_range)
         self.theta_counts = tuple(int(c) for c in theta_counts)
         self.dimensions = int(dimensions)
-        self.grid = GridIndex(theta_range, dimensions)
+        provider = resolve_provider(provider, backend, theta_range, dimensions)
+        self.provider = provider
+        # Backward-compatible alias: the provider used to always be a grid.
+        self.grid = provider
+        # One SGS cell substrate for all members: the provider itself
+        # when cell-backed, otherwise a single coordinator-owned CellMap
+        # (rather than one duplicate per member tracker).
+        if isinstance(provider, CellMap):
+            self.cells: CellMap = provider
+        else:
+            self.cells = CellMap(theta_range, dimensions)
         self.members: Dict[int, CSGS] = {
             count: CSGS(
                 theta_range,
                 count,
                 dimensions,
-                grid=self.grid,
+                provider=self.provider,
                 manage_grid=False,
+                cells=self.cells,
             )
             for count in self.theta_counts
         }
@@ -57,7 +82,9 @@ class SharedCSGS:
     def _purge(self, window_index: int) -> None:
         for window in range(self.current_window, window_index):
             for obj in self._expiry_buckets.pop(window, ()):
-                self.grid.remove(obj)
+                self.provider.remove(obj)
+                if self.cells is not self.provider:
+                    self.cells.remove(obj)
         self.current_window = window_index
 
     def process_batch(self, batch: WindowBatch) -> Dict[int, WindowOutput]:
@@ -68,15 +95,14 @@ class SharedCSGS:
         self._purge(batch.index)
         for member in self.members.values():
             member.begin_window(batch.index)
-        for obj in batch.new_objects:
-            self.grid.insert(obj)
+        new_objects = list(batch.new_objects)
+        self.range_queries_run += len(new_objects)
+        for obj, _, known in batched_neighborhoods(self.provider, new_objects):
+            if self.cells is not self.provider:
+                self.cells.insert(obj)
             self._expiry_buckets.setdefault(obj.last_window, []).append(obj)
-            neighbors = self.grid.range_query(
-                obj.coords, exclude_oid=obj.oid
-            )
-            self.range_queries_run += 1
             for member in self.members.values():
-                member.ingest(obj, neighbors)
+                member.ingest(obj, known)
         return {
             count: member.emit(batch.index)
             for count, member in self.members.items()

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.index.provider import validate_backend
 from repro.matching.metric import DistanceMetricSpec
 from repro.streams.windows import (
     CountBasedWindowSpec,
@@ -26,12 +27,18 @@ from repro.streams.windows import (
 
 @dataclass
 class ContinuousClusteringQuery:
-    """A continuous cluster extraction query (Figure 2)."""
+    """A continuous cluster extraction query (Figure 2).
+
+    ``index_backend`` selects the neighbor-search backend the query
+    executes against (``grid`` / ``kdtree`` / ``rtree``; see
+    :mod:`repro.index.provider`).
+    """
 
     theta_range: float
     theta_count: int
     dimensions: int
     window: WindowSpec
+    index_backend: str = "grid"
 
     def __post_init__(self) -> None:
         if self.theta_range <= 0:
@@ -40,6 +47,7 @@ class ContinuousClusteringQuery:
             raise ValueError("theta_count must be at least 1")
         if self.dimensions < 1:
             raise ValueError("dimensions must be at least 1")
+        validate_backend(self.index_backend)
 
     @classmethod
     def count_based(
@@ -49,12 +57,14 @@ class ContinuousClusteringQuery:
         dimensions: int,
         win: int,
         slide: int,
+        index_backend: str = "grid",
     ) -> "ContinuousClusteringQuery":
         return cls(
             theta_range,
             theta_count,
             dimensions,
             CountBasedWindowSpec(win, slide),
+            index_backend=index_backend,
         )
 
     @classmethod
@@ -66,12 +76,14 @@ class ContinuousClusteringQuery:
         win: float,
         slide: float,
         origin: float = 0.0,
+        index_backend: str = "grid",
     ) -> "ContinuousClusteringQuery":
         return cls(
             theta_range,
             theta_count,
             dimensions,
             TimeBasedWindowSpec(win, slide, origin),
+            index_backend=index_backend,
         )
 
 

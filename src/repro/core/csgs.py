@@ -73,6 +73,9 @@ class CSGS:
         dimensions: int,
         grid=None,
         manage_grid: bool = True,
+        provider=None,
+        backend=None,
+        cells=None,
     ):
         self.theta_range = float(theta_range)
         self.theta_count = int(theta_count)
@@ -85,6 +88,9 @@ class CSGS:
             on_extension=self._handle_extension,
             grid=grid,
             manage_grid=manage_grid,
+            provider=provider,
+            backend=backend,
+            cells=cells,
         )
         self._cell_core_until: Dict[Coord, int] = {}
         self._core_connections: Dict[PairKey, int] = {}
@@ -173,10 +179,14 @@ class CSGS:
         return self._emit(window_index)
 
     def process_batch(self, batch: WindowBatch) -> WindowOutput:
-        """Slide to the batch's window, insert its tuples, emit output."""
+        """Slide to the batch's window, insert its tuples, emit output.
+
+        Insertion runs through the tracker's batched fast path: one
+        ``range_query_many`` pass over the whole slide instead of one
+        range query per object.
+        """
         self.begin_window(batch.index)
-        for obj in batch.new_objects:
-            self.tracker.insert(obj)
+        self.tracker.insert_batch(batch.new_objects)
         return self._emit(batch.index)
 
     def process(self, batches: Iterable[WindowBatch]) -> Iterator[WindowOutput]:
@@ -206,7 +216,9 @@ class CSGS:
     # ------------------------------------------------------------------
 
     def _emit(self, window: int) -> WindowOutput:
-        grid = self.tracker.grid
+        # Cell substrate: the provider itself for the grid backend, the
+        # tracker's own CellMap for search-only backends.
+        grid = self.tracker.cells
         states = self.tracker.states
 
         core_cells: Set[Coord] = {
@@ -221,9 +233,15 @@ class CSGS:
             if until >= window and a in core_cells and b in core_cells:
                 adjacency[a].append(b)
                 adjacency[b].append(a)
+        # Connection-recording order (and hence adjacency-list and set
+        # insertion order) varies with the neighbor-search backend; sort
+        # every iteration over it so the emitted output is
+        # backend-independent.
+        for neighbors in adjacency.values():
+            neighbors.sort()
         group_of: Dict[Coord, int] = {}
         group_cores: List[List[Coord]] = []
-        for coord in core_cells:
+        for coord in sorted(core_cells):
             if coord in group_of:
                 continue
             group_id = len(group_cores)
@@ -263,7 +281,7 @@ class CSGS:
             {} for _ in range(n_groups)
         ]
         group_edge_cells: List[Dict[Coord, int]] = [{} for _ in range(n_groups)]
-        for edge_coord in edge_candidates:
+        for edge_coord in sorted(edge_candidates):
             own_group = group_of.get(edge_coord)
             for obj in grid.objects_in_cell(edge_coord):
                 state = states[obj.oid]

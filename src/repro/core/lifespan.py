@@ -32,14 +32,30 @@ Consumers (C-SGS, Extra-N) subscribe via two callbacks:
   (the pairs whose joint careers may have been extended).
 
 Exactly one range query runs per inserted object, matching the paper's
-"minimum number of range query searches" guarantee.
+"minimum number of range query searches" guarantee — and because that
+query dominates insertion cost, the search itself is delegated to a
+pluggable :class:`~repro.index.provider.NeighborProvider` (grid, k-d
+tree, or R-tree backend). The skeletal-grid *cell* bookkeeping C-SGS
+needs is independent of the search backend: when the provider is
+cell-backed (the grid), it doubles as the cell substrate; otherwise the
+tracker keeps a bare :class:`~repro.index.grid_index.CellMap` alongside.
+
+:meth:`NeighborhoodTracker.insert_batch` is the batched fast path: the
+whole window batch is bulk-inserted and answered with one
+``range_query_many`` pass, then careers are updated in arrival order —
+producing output identical to object-at-a-time insertion.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.index.grid_index import GridIndex
+from repro.index.grid_index import CellMap
+from repro.index.provider import (
+    NeighborProvider,
+    batched_neighborhoods,
+    resolve_provider,
+)
 from repro.streams.objects import StreamObject
 
 Coord = Tuple[int, ...]
@@ -150,19 +166,46 @@ class NeighborhoodTracker:
         dimensions: int,
         on_insert: Optional[InsertCallback] = None,
         on_extension: Optional[ExtensionCallback] = None,
-        grid: Optional[GridIndex] = None,
+        grid: Optional[NeighborProvider] = None,
         manage_grid: bool = True,
+        provider: Optional[NeighborProvider] = None,
+        backend: Optional[str] = None,
+        cells: Optional[CellMap] = None,
+        maintain_cells: bool = True,
     ):
         if theta_count < 1:
             raise ValueError("theta_count must be at least 1")
         self.theta_range = float(theta_range)
         self.theta_count = int(theta_count)
         self.dimensions = int(dimensions)
-        # A grid may be shared across trackers (multi-query execution);
-        # then exactly one owner manages insert/remove on it.
-        self.grid = grid if grid is not None else GridIndex(
-            theta_range, dimensions
+        # A provider may be shared across trackers (multi-query
+        # execution); then exactly one owner manages insert/remove on it.
+        # ``grid`` is the historical name for the same parameter.
+        if provider is not None and grid is not None:
+            raise ValueError("pass either provider or grid, not both")
+        provider = resolve_provider(
+            provider if provider is not None else grid,
+            backend,
+            theta_range,
+            dimensions,
         )
+        self.provider = provider
+        # Backward-compatible alias: the provider used to always be a grid.
+        self.grid = provider
+        # The SGS cell substrate: an externally shared CellMap (its
+        # owner maintains it), the provider itself when cell-backed, or
+        # a bare CellMap this tracker maintains. Consumers that never
+        # read per-cell contents (Extra-N) pass ``maintain_cells=False``
+        # to skip the bookkeeping; cell *coordinates* stay available.
+        if cells is not None:
+            self.cells: CellMap = cells
+            self._manage_cells = False
+        elif isinstance(provider, CellMap):
+            self.cells = provider
+            self._manage_cells = False
+        else:
+            self.cells = CellMap(theta_range, dimensions)
+            self._manage_cells = maintain_cells
         self.manage_grid = manage_grid
         self.states: Dict[int, ObjectState] = {}
         self.current_window = 0
@@ -190,7 +233,9 @@ class NeighborhoodTracker:
             for state in bucket:
                 del self.states[state.oid]
                 if self.manage_grid:
-                    self.grid.remove(state.obj)
+                    self.provider.remove(state.obj)
+                if self._manage_cells:
+                    self.cells.remove(state.obj)
                 expired += 1
         self.current_window = window_index
         return expired
@@ -215,19 +260,66 @@ class NeighborhoodTracker:
                 f"object {obj.oid} is already expired at window "
                 f"{self.current_window}"
             )
-        window = self.current_window
-        theta_count = self.theta_count
+        cell: Optional[Coord] = None
         if neighbor_objs is None:
             if not self.manage_grid:
                 raise ValueError(
-                    "a tracker on a shared grid needs neighbors injected"
+                    "a tracker on a shared provider needs neighbors injected"
                 )
-            cell = self.grid.insert(obj)
-            neighbor_objs = self.grid.range_query(
+            placed = self.provider.insert(obj)
+            if self.cells is self.provider:
+                cell = placed  # CellMap.insert returns the cell coord
+            neighbor_objs = self.provider.range_query(
                 obj.coords, exclude_oid=obj.oid
             )
-        else:
-            cell = self.grid.cell_coord(obj.coords)
+        return self._insert_prepared(obj, neighbor_objs, cell)
+
+    def insert_batch(self, objects: Iterable[StreamObject]) -> None:
+        """Insert a window batch through the batched range-query path.
+
+        Delegates to :func:`~repro.index.provider.batched_neighborhoods`
+        — one bulk insert plus one ``range_query_many`` pass — whose
+        intra-batch crediting makes the career updates (and the event
+        stream consumers see) identical to object-at-a-time insertion.
+        """
+        objects = list(objects)
+        if not objects:
+            return
+        if not self.manage_grid:
+            raise ValueError(
+                "a tracker on a shared provider needs neighbors injected"
+            )
+        for obj in objects:
+            if obj.last_window < self.current_window:
+                raise ValueError(
+                    f"object {obj.oid} is already expired at window "
+                    f"{self.current_window}"
+                )
+        cell_backed = self.cells is self.provider
+        for obj, placed, known in batched_neighborhoods(
+            self.provider, objects
+        ):
+            self._insert_prepared(obj, known, placed if cell_backed else None)
+
+    def _insert_prepared(
+        self,
+        obj: StreamObject,
+        neighbor_objs: List[StreamObject],
+        cell: Optional[Coord] = None,
+    ) -> ObjectState:
+        """Career updates for one object whose neighbors are resolved.
+
+        ``cell`` is the object's grid coordinate when the caller already
+        has it (the grid provider returns it on insert); otherwise it is
+        derived here — inserting into the tracker's own CellMap when the
+        provider is not cell-backed.
+        """
+        window = self.current_window
+        theta_count = self.theta_count
+        if self._manage_cells:
+            cell = self.cells.insert(obj)
+        elif cell is None:
+            cell = self.cells.cell_coord(obj.coords)
         state = ObjectState(obj, cell)
         self.states[obj.oid] = state
         self._expiry_buckets.setdefault(obj.last_window, []).append(state)
@@ -289,7 +381,3 @@ class NeighborhoodTracker:
 
     def __len__(self) -> int:
         return len(self.states)
-
-    def insert_batch(self, objects: Iterable[StreamObject]) -> None:
-        for obj in objects:
-            self.insert(obj)

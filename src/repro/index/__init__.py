@@ -1,7 +1,35 @@
-"""Index substrate: grid index for range queries, R-tree, feature grid."""
+"""Index substrate: pluggable neighbor-search backends + feature grid.
+
+Neighbor search is a first-class, swappable subsystem: the
+:class:`~repro.index.provider.NeighborProvider` protocol is what every
+clustering consumer is written against, with ``grid`` / ``kdtree`` /
+``rtree`` backends selectable via :func:`~repro.index.provider.make_provider`.
+"""
 
 from repro.index.feature_grid import FeatureGridIndex
-from repro.index.grid_index import GridIndex, cell_side_for_range
+from repro.index.grid_index import CellMap, GridIndex, cell_side_for_range
+from repro.index.kdtree import KDTree
+from repro.index.provider import (
+    BACKENDS,
+    KDTreeProvider,
+    NeighborProvider,
+    RTreeProvider,
+    available_backends,
+    make_provider,
+)
 from repro.index.rtree import RTree
 
-__all__ = ["FeatureGridIndex", "GridIndex", "RTree", "cell_side_for_range"]
+__all__ = [
+    "BACKENDS",
+    "CellMap",
+    "FeatureGridIndex",
+    "GridIndex",
+    "KDTree",
+    "KDTreeProvider",
+    "NeighborProvider",
+    "RTree",
+    "RTreeProvider",
+    "available_backends",
+    "cell_side_for_range",
+    "make_provider",
+]

@@ -10,6 +10,13 @@ threshold θr, i.e. the side length is ``θr / sqrt(d)``. That guarantees
 that any two objects in the same cell are neighbors, and it bounds the
 cells that can contain neighbors of a point to those within
 ``ceil(sqrt(d))`` grid steps in every dimension.
+
+The cell decomposition itself is factored out as :class:`CellMap`: the
+pure coord→objects bookkeeping that C-SGS needs as its SGS substrate.
+:class:`GridIndex` extends it with neighbor search and is the default
+:class:`~repro.index.provider.NeighborProvider` backend; trackers that
+run a non-cell-backed backend (k-d tree, R-tree) keep a bare
+:class:`CellMap` alongside it for the skeletal-grid bookkeeping.
 """
 
 from __future__ import annotations
@@ -31,55 +38,21 @@ def cell_side_for_range(theta_range: float, dimensions: int) -> float:
     return theta_range / math.sqrt(dimensions)
 
 
-class GridIndex:
-    """A dictionary-backed uniform grid over d-dimensional space.
+class CellMap:
+    """The θr-sized cell decomposition of the data space (SGS substrate).
 
     Cells are addressed by integer coordinate tuples
-    ``floor(x_i / side)``; only non-empty cells are materialized. The index
-    stores :class:`StreamObject` references and supports the two
-    operations the clustering layer needs: range queries (all objects
-    within θr of a point) and removal of expired objects.
+    ``floor(x_i / side)``; only non-empty cells are materialized. The map
+    stores :class:`StreamObject` references and supports insertion,
+    removal, expiration purge, and per-cell introspection — everything
+    the skeletal-grid layer needs, *without* neighbor search.
     """
 
     def __init__(self, theta_range: float, dimensions: int):
         self.theta_range = float(theta_range)
         self.dimensions = int(dimensions)
         self.side = cell_side_for_range(theta_range, dimensions)
-        # Neighbors of a point can lie at most ceil(sqrt(d)) cells away
-        # in each dimension because theta_range == side * sqrt(d).
-        self.reach = int(math.ceil(math.sqrt(dimensions)))
         self._cells: Dict[Coord, List[StreamObject]] = {}
-        self._sq_range = self.theta_range * self.theta_range
-        self._offsets = self._build_offsets()
-
-    def _build_offsets(self) -> List[Coord]:
-        """Precompute the relative cell offsets a range query must visit.
-
-        Offsets whose closest corner is farther than θr from the query
-        cell are pruned, which eliminates most of the
-        ``(2*reach + 1)^d`` candidates in higher dimensions.
-        """
-        offsets: List[Coord] = []
-        span = range(-self.reach, self.reach + 1)
-
-        def expand(prefix: Tuple[int, ...]) -> None:
-            if len(prefix) == self.dimensions:
-                # Minimal possible distance between a point in the query
-                # cell and a point in the offset cell, per dimension:
-                # (|delta| - 1) * side when |delta| > 0.
-                sq_min = 0.0
-                for delta in prefix:
-                    if delta != 0:
-                        gap = (abs(delta) - 1) * self.side
-                        sq_min += gap * gap
-                if sq_min <= self._sq_range + 1e-12:
-                    offsets.append(prefix)
-                return
-            for delta in span:
-                expand(prefix + (delta,))
-
-        expand(())
-        return offsets
 
     def cell_coord(self, coords: Sequence[float]) -> Coord:
         """Return the grid cell coordinate containing a point."""
@@ -124,6 +97,75 @@ class GridIndex:
             del self._cells[coord]
         return removed
 
+    def objects_in_cell(self, coord: Coord) -> List[StreamObject]:
+        """Return the live objects stored in one cell (empty list if none)."""
+        return list(self._cells.get(coord, ()))
+
+    def occupied_cells(self) -> Iterator[Coord]:
+        return iter(self._cells.keys())
+
+    def cell_population(self, coord: Coord) -> int:
+        return len(self._cells.get(coord, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._cells.values())
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        for bucket in self._cells.values():
+            yield from bucket
+
+    def bulk_load(self, objects: Iterable[StreamObject]) -> None:
+        for obj in objects:
+            self.insert(obj)
+
+
+class GridIndex(CellMap):
+    """A dictionary-backed uniform grid with range-query search.
+
+    Extends :class:`CellMap` with the two query operations of the
+    :class:`~repro.index.provider.NeighborProvider` protocol: single
+    range queries (all objects within θr of a point) and batched
+    ``range_query_many`` (one candidate-gathering pass per distinct base
+    cell instead of one per query).
+    """
+
+    def __init__(self, theta_range: float, dimensions: int):
+        super().__init__(theta_range, dimensions)
+        # Neighbors of a point can lie at most ceil(sqrt(d)) cells away
+        # in each dimension because theta_range == side * sqrt(d).
+        self.reach = int(math.ceil(math.sqrt(self.dimensions)))
+        self._sq_range = self.theta_range * self.theta_range
+        self._offsets = self._build_offsets()
+
+    def _build_offsets(self) -> List[Coord]:
+        """Precompute the relative cell offsets a range query must visit.
+
+        Offsets whose closest corner is farther than θr from the query
+        cell are pruned, which eliminates most of the
+        ``(2*reach + 1)^d`` candidates in higher dimensions.
+        """
+        offsets: List[Coord] = []
+        span = range(-self.reach, self.reach + 1)
+
+        def expand(prefix: Tuple[int, ...]) -> None:
+            if len(prefix) == self.dimensions:
+                # Minimal possible distance between a point in the query
+                # cell and a point in the offset cell, per dimension:
+                # (|delta| - 1) * side when |delta| > 0.
+                sq_min = 0.0
+                for delta in prefix:
+                    if delta != 0:
+                        gap = (abs(delta) - 1) * self.side
+                        sq_min += gap * gap
+                if sq_min <= self._sq_range + 1e-12:
+                    offsets.append(prefix)
+                return
+            for delta in span:
+                expand(prefix + (delta,))
+
+        expand(())
+        return offsets
+
     def range_query(
         self, coords: Sequence[float], exclude_oid: int = -1
     ) -> List[StreamObject]:
@@ -132,6 +174,9 @@ class GridIndex:
         ``exclude_oid`` omits the query object itself when it has already
         been inserted.
         """
+        # The inlined refinement below (early-break, boundary-inclusive
+        # <= θr²) must match provider._within_sq_range — every backend
+        # shares those semantics; the parity suite pins the agreement.
         base = self.cell_coord(coords)
         result: List[StreamObject] = []
         sq_range = self._sq_range
@@ -153,23 +198,44 @@ class GridIndex:
                     result.append(obj)
         return result
 
-    def objects_in_cell(self, coord: Coord) -> List[StreamObject]:
-        """Return the live objects stored in one cell (empty list if none)."""
-        return list(self._cells.get(coord, ()))
+    def range_query_many(
+        self, queries: Sequence[Tuple[Sequence[float], int]]
+    ) -> List[List[StreamObject]]:
+        """Batched range queries: ``[(coords, exclude_oid), ...]``.
 
-    def occupied_cells(self) -> Iterator[Coord]:
-        return iter(self._cells.keys())
-
-    def cell_population(self, coord: Coord) -> int:
-        return len(self._cells.get(coord, ()))
-
-    def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._cells.values())
-
-    def __iter__(self) -> Iterator[StreamObject]:
-        for bucket in self._cells.values():
-            yield from bucket
-
-    def bulk_load(self, objects: Iterable[StreamObject]) -> None:
-        for obj in objects:
-            self.insert(obj)
+        The candidate set (union of reachable buckets) depends only on
+        the query's base cell, so it is gathered once per *distinct*
+        base cell and reused by every query landing in that cell — on
+        clustered window batches this turns the per-object bucket walk
+        into a per-occupied-cell one.
+        """
+        results: List[List[StreamObject]] = []
+        candidates_by_base: Dict[Coord, List[StreamObject]] = {}
+        cells = self._cells
+        sq_range = self._sq_range
+        for coords, exclude_oid in queries:
+            base = self.cell_coord(coords)
+            candidates = candidates_by_base.get(base)
+            if candidates is None:
+                candidates = []
+                for offset in self._offsets:
+                    bucket = cells.get(
+                        tuple(b + o for b, o in zip(base, offset))
+                    )
+                    if bucket:
+                        candidates.extend(bucket)
+                candidates_by_base[base] = candidates
+            matches: List[StreamObject] = []
+            for obj in candidates:
+                if obj.oid == exclude_oid:
+                    continue
+                total = 0.0
+                for a, b in zip(coords, obj.coords):
+                    diff = a - b
+                    total += diff * diff
+                    if total > sq_range:
+                        break
+                else:
+                    matches.append(obj)
+            results.append(matches)
+        return results

@@ -1,0 +1,377 @@
+"""Pluggable neighbor-search backends: the ``NeighborProvider`` seam.
+
+The paper's central cost argument (Section 5.3) is that range-query
+search dominates per-object insertion cost in C-SGS, Extra-N, and
+incremental DBSCAN alike. This module turns that search into a
+first-class, swappable subsystem: every consumer of neighbor search
+(``NeighborhoodTracker``, C-SGS, Extra-N, incremental DBSCAN, shared
+multi-query execution) is written against the :class:`NeighborProvider`
+protocol rather than a concrete index, and backends are selected by name
+through :func:`make_provider` (``config.py`` and the CLI expose the same
+names).
+
+Three backends conform today:
+
+* ``grid`` — :class:`~repro.index.grid_index.GridIndex`, the paper's
+  θr-diagonal uniform grid (default; also the SGS cell substrate);
+* ``kdtree`` — :class:`KDTreeProvider`, a dynamic wrapper that keeps a
+  balanced static :class:`~repro.index.kdtree.KDTree` over committed
+  objects plus a small insertion buffer, rebuilding amortized;
+* ``rtree`` — :class:`RTreeProvider`, point entries in the Guttman
+  :class:`~repro.index.rtree.RTree` with exact distance refinement.
+
+All backends answer the *same* fixed-radius (θr) queries and are
+checked object-for-object identical by the parity test suite.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.geometry.mbr import MBR
+from repro.index.grid_index import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+from repro.streams.objects import StreamObject
+
+#: One batched query: the probe coordinates and the oid to exclude
+#: (typically the probe object itself, already inserted).
+Query = Tuple[Sequence[float], int]
+
+
+def _within_sq_range(
+    coords: Sequence[float], other: Sequence[float], sq_range: float
+) -> bool:
+    """Exact refinement: squared distance <= sq_range (boundary inclusive).
+
+    Every backend must agree on these boundary semantics — GridIndex
+    inlines the identical loop on its hot path; the cross-backend parity
+    suite pins the agreement.
+    """
+    total = 0.0
+    for a, b in zip(coords, other):
+        diff = a - b
+        total += diff * diff
+        if total > sq_range:
+            return False
+    return True
+
+
+@runtime_checkable
+class NeighborProvider(Protocol):
+    """What the clustering layer requires of a neighbor-search backend.
+
+    The query radius θr is fixed at construction (it is a query
+    parameter, not a per-call one — every consumer issues the same
+    radius for the lifetime of a query pipeline).
+    """
+
+    theta_range: float
+    dimensions: int
+
+    def insert(self, obj: StreamObject) -> object: ...
+
+    def remove(self, obj: StreamObject) -> None: ...
+
+    def purge_expired(self, window_index: int) -> int: ...
+
+    def range_query(
+        self, coords: Sequence[float], exclude_oid: int = -1
+    ) -> List[StreamObject]: ...
+
+    def range_query_many(
+        self, queries: Sequence[Query]
+    ) -> List[List[StreamObject]]: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[StreamObject]: ...
+
+
+class _FallbackBatchMixin:
+    """Default ``range_query_many``: one single-probe query per entry.
+
+    Backends with a genuinely batched plan (the grid shares candidate
+    gathering across probes in the same cell) override this.
+    """
+
+    def range_query_many(
+        self, queries: Sequence[Query]
+    ) -> List[List[StreamObject]]:
+        return [
+            self.range_query(coords, exclude_oid=exclude_oid)
+            for coords, exclude_oid in queries
+        ]
+
+
+class KDTreeProvider(_FallbackBatchMixin):
+    """Dynamic neighbor search over the static balanced k-d tree.
+
+    Mutations are cheap: inserts land in a buffer scanned linearly at
+    query time, removals tombstone entries still inside the committed
+    tree. Once the churn (buffer + tombstones) exceeds
+    ``rebuild_fraction`` of the live population (and ``min_buffer``),
+    the tree is rebuilt from the live objects — the classic amortized
+    logarithmic-rebuilding scheme, O(log n) average query with O(n log n)
+    rebuild cost spread over O(n) mutations.
+    """
+
+    def __init__(
+        self,
+        theta_range: float,
+        dimensions: int,
+        rebuild_fraction: float = 0.25,
+        min_buffer: int = 64,
+    ):
+        if theta_range <= 0:
+            raise ValueError("theta_range must be positive")
+        if dimensions < 1:
+            raise ValueError("dimensions must be positive")
+        self.theta_range = float(theta_range)
+        self.dimensions = int(dimensions)
+        self._rebuild_fraction = float(rebuild_fraction)
+        self._min_buffer = int(min_buffer)
+        self._objects: Dict[int, StreamObject] = {}
+        self._tree: Optional[KDTree] = None
+        self._pending: Dict[int, StreamObject] = {}
+        self._stale = 0  # removed objects still present in _tree
+        self.rebuilds = 0
+
+    def insert(self, obj: StreamObject) -> None:
+        self._objects[obj.oid] = obj
+        self._pending[obj.oid] = obj
+        self._maybe_rebuild()
+
+    def remove(self, obj: StreamObject) -> None:
+        if self._objects.pop(obj.oid, None) is None:
+            raise KeyError(f"object {obj.oid} not present in kd-tree")
+        if self._pending.pop(obj.oid, None) is None:
+            self._stale += 1
+        self._maybe_rebuild()
+
+    def purge_expired(self, window_index: int) -> int:
+        expired = [
+            obj
+            for obj in self._objects.values()
+            if obj.last_window < window_index
+        ]
+        # Tombstone directly instead of calling remove(): one rebuild
+        # decision after the sweep, not one per expired object.
+        for obj in expired:
+            del self._objects[obj.oid]
+            if self._pending.pop(obj.oid, None) is None:
+                self._stale += 1
+        if expired:
+            self._maybe_rebuild()
+        return len(expired)
+
+    def _maybe_rebuild(self) -> None:
+        churn = len(self._pending) + self._stale
+        if churn <= self._min_buffer:
+            return
+        if churn > self._rebuild_fraction * max(1, len(self._objects)):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.rebuilds += 1
+        if self._objects:
+            self._tree = KDTree(list(self._objects.values()), self.dimensions)
+        else:
+            self._tree = None
+        self._pending = {}
+        self._stale = 0
+
+    def range_query(
+        self, coords: Sequence[float], exclude_oid: int = -1
+    ) -> List[StreamObject]:
+        result: List[StreamObject] = []
+        if self._tree is not None:
+            for obj in self._tree.range_query(
+                coords, self.theta_range, exclude_oid=exclude_oid
+            ):
+                # Skip tombstoned entries the tree still holds; the
+                # pending buffer wins when an oid was removed and
+                # re-inserted before a rebuild (the buffer scan below
+                # reports it, so counting the stale copy would duplicate).
+                if obj.oid in self._pending:
+                    continue
+                if self._objects.get(obj.oid) is obj:
+                    result.append(obj)
+        sq_range = self.theta_range * self.theta_range
+        for obj in self._pending.values():
+            if obj.oid != exclude_oid and _within_sq_range(
+                coords, obj.coords, sq_range
+            ):
+                result.append(obj)
+        return result
+
+    def range_query_many(
+        self, queries: Sequence[Query]
+    ) -> List[List[StreamObject]]:
+        # Commit the pending buffer before a batch when the batch's
+        # linear scans over it would cost more than one O(n log n)
+        # rebuild; small slides over large trees keep the buffer.
+        churn = len(self._pending) + self._stale
+        if churn > self._min_buffer:
+            n = max(len(self._objects), 2)
+            if len(queries) * churn > n * n.bit_length():
+                self._rebuild()
+        return super().range_query_many(queries)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        return iter(list(self._objects.values()))
+
+
+class RTreeProvider(_FallbackBatchMixin):
+    """Neighbor search through the Guttman R-tree.
+
+    Objects are stored as degenerate point MBRs; a range query searches
+    the tree with the bounding box of the θr-ball and refines candidates
+    with the exact squared distance.
+    """
+
+    def __init__(
+        self, theta_range: float, dimensions: int, max_entries: int = 8
+    ):
+        if theta_range <= 0:
+            raise ValueError("theta_range must be positive")
+        if dimensions < 1:
+            raise ValueError("dimensions must be positive")
+        self.theta_range = float(theta_range)
+        self.dimensions = int(dimensions)
+        self._tree = RTree(max_entries=max_entries)
+        self._entries: Dict[int, Tuple[MBR, StreamObject]] = {}
+
+    def insert(self, obj: StreamObject) -> None:
+        box = MBR.from_point(obj.coords)
+        self._tree.insert(box, obj)
+        self._entries[obj.oid] = (box, obj)
+
+    def remove(self, obj: StreamObject) -> None:
+        entry = self._entries.pop(obj.oid, None)
+        if entry is None:
+            raise KeyError(f"object {obj.oid} not present in r-tree")
+        self._tree.delete(entry[0], entry[1])
+
+    def purge_expired(self, window_index: int) -> int:
+        expired = [
+            obj
+            for _, obj in self._entries.values()
+            if obj.last_window < window_index
+        ]
+        for obj in expired:
+            self.remove(obj)
+        return len(expired)
+
+    def range_query(
+        self, coords: Sequence[float], exclude_oid: int = -1
+    ) -> List[StreamObject]:
+        radius = self.theta_range
+        ball = MBR(
+            tuple(value - radius for value in coords),
+            tuple(value + radius for value in coords),
+        )
+        sq_range = radius * radius
+        result: List[StreamObject] = []
+        for obj in self._tree.search(ball):
+            if obj.oid != exclude_oid and _within_sq_range(
+                coords, obj.coords, sq_range
+            ):
+                result.append(obj)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        return iter([obj for _, obj in self._entries.values()])
+
+
+#: Registry of selectable backends; config.py and the CLI validate
+#: against these names.
+BACKENDS = {
+    "grid": GridIndex,
+    "kdtree": KDTreeProvider,
+    "rtree": RTreeProvider,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`make_provider` (sorted, for help text)."""
+    return tuple(sorted(BACKENDS))
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if registered, else raise the canonical error."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown index backend {backend!r}; "
+            f"choose one of {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def make_provider(
+    backend: str, theta_range: float, dimensions: int
+) -> NeighborProvider:
+    """Construct the named neighbor-search backend."""
+    return BACKENDS[validate_backend(backend)](theta_range, dimensions)
+
+
+def resolve_provider(
+    provider: Optional[NeighborProvider],
+    backend: Optional[str],
+    theta_range: float,
+    dimensions: int,
+) -> NeighborProvider:
+    """Resolve the provider/backend constructor convention every
+    consumer shares: an instance and a name are mutually exclusive, and
+    neither means the default grid backend."""
+    if provider is not None and backend is not None:
+        raise ValueError("pass either a provider instance or a backend name")
+    if provider is None:
+        return make_provider(backend or "grid", theta_range, dimensions)
+    return provider
+
+
+def batched_neighborhoods(
+    provider: NeighborProvider, objects: Sequence[StreamObject]
+):
+    """Bulk-insert ``objects`` and answer them with one batched pass.
+
+    Yields ``(obj, placed, known)`` per object in arrival order, where
+    ``placed`` is whatever ``provider.insert`` returned (the cell coord
+    for cell-backed providers) and ``known`` is the neighbor list
+    filtered to objects already yielded — i.e. the later half of each
+    intra-batch pair is credited when the later object is processed, so
+    consuming this generator is equivalent to object-at-a-time
+    insert-then-query. Anything else the provider returns (e.g.
+    pre-populated objects) flows through unchanged.
+
+    The whole batch is inserted before the first yield; if the consumer
+    raises (or abandons the generator) mid-iteration, the remaining
+    objects stay in the provider without consumer-side state. Callers
+    treating a consumption failure as recoverable must remove the
+    unprocessed objects themselves.
+    """
+    objects = list(objects)
+    placed = [provider.insert(obj) for obj in objects]
+    neighbor_lists = provider.range_query_many(
+        [(obj.coords, obj.oid) for obj in objects]
+    )
+    pending = {obj.oid for obj in objects}
+    for obj, ret, neighbors in zip(objects, placed, neighbor_lists):
+        pending.discard(obj.oid)
+        yield obj, ret, [nb for nb in neighbors if nb.oid not in pending]

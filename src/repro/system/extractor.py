@@ -11,12 +11,19 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.core.csgs import CSGS, WindowOutput
+from repro.index.provider import NeighborProvider
 from repro.streams.objects import StreamObject
 from repro.streams.windows import WindowSpec, Windower
 
 
 class PatternExtractor:
-    """Continuous cluster extraction + summarization over one stream."""
+    """Continuous cluster extraction + summarization over one stream.
+
+    ``index_backend`` selects the neighbor-search backend by name
+    (``grid`` / ``kdtree`` / ``rtree``); alternatively a ready
+    :class:`~repro.index.provider.NeighborProvider` instance can be
+    injected via ``provider``.
+    """
 
     def __init__(
         self,
@@ -24,13 +31,22 @@ class PatternExtractor:
         theta_count: int,
         dimensions: int,
         window_spec: WindowSpec,
+        index_backend: Optional[str] = None,
+        provider: Optional[NeighborProvider] = None,
     ):
         self.theta_range = float(theta_range)
         self.theta_count = int(theta_count)
         self.dimensions = int(dimensions)
         self.window_spec = window_spec
+        self.index_backend = index_backend
         self._windower = Windower(window_spec)
-        self._csgs = CSGS(theta_range, theta_count, dimensions)
+        self._csgs = CSGS(
+            theta_range,
+            theta_count,
+            dimensions,
+            provider=provider,
+            backend=index_backend,
+        )
 
     @property
     def algorithm(self) -> CSGS:

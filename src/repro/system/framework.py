@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, List, Optional
 from repro.archive.analyzer import MatchResult, MatchStats, PatternAnalyzer
 from repro.archive.archiver import ArchivePolicy, PatternArchiver
 from repro.archive.pattern_base import PatternBase
+from repro.config import ContinuousClusteringQuery
 from repro.core.csgs import WindowOutput
 from repro.core.sgs import SGS
 from repro.matching.metric import DistanceMetricSpec
@@ -41,9 +42,14 @@ class StreamPatternMiningSystem:
         archive_policy: Optional[ArchivePolicy] = None,
         archive_level: int = 0,
         archive_byte_budget: Optional[int] = None,
+        index_backend: Optional[str] = None,
     ):
         self.extractor = PatternExtractor(
-            theta_range, theta_count, dimensions, window_spec
+            theta_range,
+            theta_count,
+            dimensions,
+            window_spec,
+            index_backend=index_backend,
         )
         self.pattern_base = PatternBase()
         self.archiver = PatternArchiver(
@@ -53,6 +59,31 @@ class StreamPatternMiningSystem:
             byte_budget_per_cluster=archive_byte_budget,
         )
         self.analyzer = PatternAnalyzer(self.pattern_base, metric)
+
+    @classmethod
+    def from_query(
+        cls,
+        query: "ContinuousClusteringQuery",
+        **kwargs,
+    ) -> "StreamPatternMiningSystem":
+        """Build a system from a declarative query (Figure 2 template).
+
+        Consumes every field of the query — θr, θc, dimensions, window
+        spec, and ``index_backend`` — so the neighbor-search backend
+        declared on the query is what the pipeline actually runs on.
+        Remaining keyword arguments (metric, archive policy, …) pass
+        through to the constructor; an explicit non-None
+        ``index_backend`` keyword overrides the query's.
+        """
+        if kwargs.get("index_backend") is None:
+            kwargs["index_backend"] = query.index_backend
+        return cls(
+            query.theta_range,
+            query.theta_count,
+            query.dimensions,
+            query.window,
+            **kwargs,
+        )
 
     def run_steps(
         self,

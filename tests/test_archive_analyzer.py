@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.archive.analyzer import PatternAnalyzer
 from repro.archive.archiver import PatternArchiver
 from repro.archive.pattern_base import PatternBase

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.archive.archiver import (
     ArchiveAllPolicy,
     FeatureFilterPolicy,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.archive.maintenance import RetentionManager
 from repro.archive.pattern_base import PatternBase
 from repro.core.csgs import CSGS

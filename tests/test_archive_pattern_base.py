@@ -1,6 +1,6 @@
 """Unit tests for the Pattern Base (dual-indexed archive)."""
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.archive.pattern_base import PatternBase
 from repro.core.csgs import CSGS
 from repro.core.features import ClusterFeatures

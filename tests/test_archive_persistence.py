@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.archive.analyzer import PatternAnalyzer
 from repro.archive.pattern_base import PatternBase
 from repro.archive.persistence import (

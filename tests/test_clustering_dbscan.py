@@ -2,7 +2,7 @@
 
 import random
 
-from conftest import clustered_points, make_objects
+from tests.helpers import clustered_points, make_objects
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import classify_objects, dbscan
 from repro.geometry.distance import euclidean_distance

@@ -1,6 +1,6 @@
 """Unit tests for the Extra-N baseline."""
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import dbscan
 from repro.clustering.extra_n import ExtraN, _UnionFind

@@ -2,7 +2,7 @@
 
 import random
 
-from conftest import clustered_points, make_objects, stream_batches
+from tests.helpers import clustered_points, make_objects, stream_batches
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import dbscan
 from repro.clustering.inc_dbscan import IncrementalDBSCAN

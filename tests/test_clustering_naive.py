@@ -1,6 +1,6 @@
 """Unit tests for the naive per-window re-clustering baseline."""
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.clustering.cluster import partition_signature
 from repro.clustering.extra_n import ExtraN
 from repro.clustering.naive import NaiveWindowClusterer

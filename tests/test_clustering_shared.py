@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.clustering.cluster import partition_signature
 from repro.clustering.shared import SharedCSGS
 from repro.core.csgs import CSGS

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import classify_objects, dbscan
 from repro.clustering.extra_n import ExtraN

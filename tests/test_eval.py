@@ -3,7 +3,7 @@ harness)."""
 
 import pytest
 
-from conftest import clustered_points, make_objects, stream_batches
+from tests.helpers import clustered_points, make_objects, stream_batches
 from repro.clustering.dbscan import dbscan
 from repro.core.csgs import CSGS
 from repro.eval.harness import (

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from conftest import make_objects
+from tests.helpers import make_objects
 from repro.geometry.distance import euclidean_distance
 from repro.index.grid_index import GridIndex, cell_side_for_range
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import make_objects
+from tests.helpers import make_objects
 from repro.geometry.distance import euclidean_distance
 from repro.index.kdtree import KDTree
 

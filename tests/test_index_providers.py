@@ -1,0 +1,375 @@
+"""Parity suite for the pluggable NeighborProvider backends.
+
+Every backend (grid, kdtree, rtree) must answer exactly the same
+fixed-radius neighbor queries — single and batched, static and under
+insert/remove/purge churn — and the clustering layer built on top must
+produce identical window output regardless of the backend selected.
+"""
+
+import random
+
+import pytest
+
+from tests.helpers import clustered_points, make_objects, stream_batches
+from repro.clustering.shared import SharedCSGS
+from repro.config import ContinuousClusteringQuery
+from repro.core.csgs import CSGS
+from repro.geometry.distance import euclidean_distance
+from repro.index import (
+    BACKENDS,
+    GridIndex,
+    KDTreeProvider,
+    RTreeProvider,
+    available_backends,
+    make_provider,
+)
+
+BACKEND_NAMES = tuple(sorted(BACKENDS))
+
+THETA = 0.4
+
+
+def brute_force(objects, coords, radius, exclude_oid=-1):
+    return {
+        obj.oid
+        for obj in objects
+        if obj.oid != exclude_oid
+        and euclidean_distance(obj.coords, coords) <= radius
+    }
+
+
+def random_points(n, dims, seed, bound=5.0):
+    rng = random.Random(seed)
+    return [
+        tuple(rng.uniform(0, bound) for _ in range(dims)) for _ in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Factory / registry
+# ----------------------------------------------------------------------
+
+
+def test_available_backends():
+    assert available_backends() == ("grid", "kdtree", "rtree")
+
+
+def test_make_provider_types():
+    assert isinstance(make_provider("grid", 0.5, 2), GridIndex)
+    assert isinstance(make_provider("kdtree", 0.5, 2), KDTreeProvider)
+    assert isinstance(make_provider("rtree", 0.5, 2), RTreeProvider)
+
+
+def test_make_provider_unknown_backend():
+    with pytest.raises(ValueError, match="unknown index backend"):
+        make_provider("quadtree", 0.5, 2)
+
+
+def test_config_validates_backend():
+    query = ContinuousClusteringQuery.count_based(
+        0.5, 3, 2, 100, 50, index_backend="kdtree"
+    )
+    assert query.index_backend == "kdtree"
+    with pytest.raises(ValueError, match="unknown index backend"):
+        ContinuousClusteringQuery.count_based(
+            0.5, 3, 2, 100, 50, index_backend="nope"
+        )
+
+
+# ----------------------------------------------------------------------
+# range_query parity (vs brute force and across backends)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("dims", (2, 4))
+def test_range_query_matches_bruteforce_random(backend, dims):
+    objects = make_objects(random_points(250, dims, seed=11))
+    provider = make_provider(backend, THETA, dims)
+    for obj in objects:
+        provider.insert(obj)
+    assert len(provider) == len(objects)
+    for probe in objects[:40]:
+        got = {
+            obj.oid
+            for obj in provider.range_query(
+                probe.coords, exclude_oid=probe.oid
+            )
+        }
+        assert got == brute_force(objects, probe.coords, THETA, probe.oid)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_range_query_matches_bruteforce_clustered(backend):
+    points = clustered_points(
+        [(1.0, 1.0), (3.0, 3.0)], per_cluster=120, noise=60, seed=5
+    )
+    objects = make_objects(points)
+    provider = make_provider(backend, THETA, 2)
+    for obj in objects:
+        provider.insert(obj)
+    for probe in objects[::7]:
+        got = {
+            obj.oid
+            for obj in provider.range_query(
+                probe.coords, exclude_oid=probe.oid
+            )
+        }
+        assert got == brute_force(objects, probe.coords, THETA, probe.oid)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_range_query_many_matches_single(backend):
+    objects = make_objects(random_points(300, 2, seed=23))
+    provider = make_provider(backend, THETA, 2)
+    for obj in objects:
+        provider.insert(obj)
+    queries = [(obj.coords, obj.oid) for obj in objects[:80]]
+    batched = provider.range_query_many(queries)
+    assert len(batched) == len(queries)
+    for (coords, exclude), result in zip(queries, batched):
+        single = provider.range_query(coords, exclude_oid=exclude)
+        assert {obj.oid for obj in result} == {obj.oid for obj in single}
+
+
+def test_backends_pairwise_identical_after_churn():
+    """Same mutation sequence -> same answers, across all backends."""
+    rng = random.Random(42)
+    objects = make_objects(random_points(400, 2, seed=9), last_window=10)
+    # Stagger expiry so purge_expired has real work.
+    for obj in objects:
+        obj.last_window = rng.randint(2, 10)
+    providers = {
+        name: make_provider(name, THETA, 2) for name in BACKEND_NAMES
+    }
+    for obj in objects:
+        for provider in providers.values():
+            provider.insert(obj)
+    removed = rng.sample(objects, 60)
+    for obj in removed:
+        for provider in providers.values():
+            provider.remove(obj)
+    purged = {
+        name: provider.purge_expired(6)
+        for name, provider in providers.items()
+    }
+    assert len(set(purged.values())) == 1
+    sizes = {len(provider) for provider in providers.values()}
+    assert len(sizes) == 1
+    alive = {obj.oid for obj in providers["grid"]}
+    for name in ("kdtree", "rtree"):
+        assert {obj.oid for obj in providers[name]} == alive
+    probes = random_points(50, 2, seed=77)
+    for coords in probes:
+        answers = {
+            name: frozenset(
+                obj.oid for obj in provider.range_query(coords)
+            )
+            for name, provider in providers.items()
+        }
+        assert len(set(answers.values())) == 1, answers
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_remove_missing_object_raises(backend):
+    provider = make_provider(backend, THETA, 2)
+    (obj,) = make_objects([(0.0, 0.0)])
+    with pytest.raises(KeyError):
+        provider.remove(obj)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_remove_then_reinsert_no_duplicates(backend):
+    """A removed-then-reinserted object must be reported exactly once,
+    even while the kd-tree still holds its tombstoned committed copy."""
+    provider = make_provider(backend, THETA, 2)
+    if backend == "kdtree":
+        provider._min_buffer = 4  # force early commits to the tree
+    objects = make_objects(random_points(40, 2, seed=31, bound=1.0))
+    for obj in objects:
+        provider.insert(obj)
+    victim = objects[3]
+    provider.remove(victim)
+    provider.insert(victim)
+    assert len(provider) == len(objects)
+    for probe in objects[:10]:
+        got = [
+            obj.oid
+            for obj in provider.range_query(probe.coords, exclude_oid=probe.oid)
+        ]
+        assert len(got) == len(set(got)), f"duplicate oids: {sorted(got)}"
+        assert set(got) == brute_force(objects, probe.coords, THETA, probe.oid)
+
+
+def test_system_from_query_uses_declared_backend():
+    from repro.system.framework import StreamPatternMiningSystem
+
+    query = ContinuousClusteringQuery.count_based(
+        0.4, 3, 2, 100, 50, index_backend="kdtree"
+    )
+    system = StreamPatternMiningSystem.from_query(query)
+    provider = system.extractor.algorithm.tracker.provider
+    assert isinstance(provider, KDTreeProvider)
+    objects = make_objects(random_points(150, 2, seed=1), last_window=3)
+    outputs = system.run(objects, max_windows=2)
+    assert outputs and system.archived_count >= 0
+
+
+def test_kdtree_provider_rebuilds_amortized():
+    provider = KDTreeProvider(THETA, 2, rebuild_fraction=0.25, min_buffer=8)
+    objects = make_objects(random_points(300, 2, seed=3))
+    for obj in objects:
+        provider.insert(obj)
+    assert provider.rebuilds > 0
+    # After heavy churn the answers stay exact.
+    for obj in objects[:150]:
+        provider.remove(obj)
+    remaining = objects[150:]
+    for probe in remaining[:25]:
+        got = {
+            o.oid
+            for o in provider.range_query(probe.coords, exclude_oid=probe.oid)
+        }
+        assert got == brute_force(remaining, probe.coords, THETA, probe.oid)
+
+
+# ----------------------------------------------------------------------
+# Clustering-layer parity: identical window output per backend
+# ----------------------------------------------------------------------
+
+
+def _csgs_trace(backend, points, theta_range=0.35, theta_count=4):
+    """Full structural trace of a C-SGS run (order included)."""
+    csgs = CSGS(theta_range, theta_count, 2, backend=backend)
+    trace = []
+    for batch in stream_batches(points, 150, 75):
+        output = csgs.process_batch(batch)
+        trace.append(
+            (
+                output.window_index,
+                [
+                    (
+                        cluster.cluster_id,
+                        [obj.oid for obj in cluster.core_objects],
+                        [obj.oid for obj in cluster.edge_objects],
+                    )
+                    for cluster in output.clusters
+                ],
+                [
+                    sorted(
+                        (cell.location, cell.status.name, cell.population)
+                        for cell in sgs.cells.values()
+                    )
+                    for sgs in output.summaries
+                ],
+            )
+        )
+    return trace
+
+
+def test_csgs_output_identical_across_backends():
+    points = clustered_points(
+        [(2.0, 2.0), (7.0, 7.0), (4.5, 5.0)],
+        per_cluster=150,
+        noise=100,
+        seed=13,
+    )
+    traces = {
+        backend: _csgs_trace(backend, points) for backend in BACKEND_NAMES
+    }
+    assert traces["kdtree"] == traces["grid"]
+    assert traces["rtree"] == traces["grid"]
+
+
+def test_shared_csgs_identical_across_backends():
+    points = clustered_points(
+        [(2.0, 2.0), (6.5, 6.5)], per_cluster=120, noise=80, seed=21
+    )
+    theta_counts = (3, 6)
+
+    def run(backend):
+        shared = SharedCSGS(0.35, theta_counts, 2, backend=backend)
+        trace = []
+        for batch in stream_batches(points, 150, 75):
+            outputs = shared.process_batch(batch)
+            trace.append(
+                {
+                    count: [
+                        (
+                            sorted(obj.oid for obj in cluster.core_objects),
+                            sorted(obj.oid for obj in cluster.edge_objects),
+                        )
+                        for cluster in output.clusters
+                    ]
+                    for count, output in outputs.items()
+                }
+            )
+        return trace
+
+    reference = run("grid")
+    for backend in ("kdtree", "rtree"):
+        assert run(backend) == reference
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_shared_members_share_one_cell_substrate(backend):
+    """Members must not each duplicate the SGS cell bookkeeping."""
+    shared = SharedCSGS(0.35, (3, 5, 8), 2, backend=backend)
+    substrates = {id(member.tracker.cells) for member in shared.members.values()}
+    assert substrates == {id(shared.cells)}
+    providers = {id(member.tracker.provider) for member in shared.members.values()}
+    assert providers == {id(shared.provider)}
+
+
+def test_insert_batch_matches_sequential_on_prepopulated_provider():
+    """Both insertion paths fail identically (loudly) when the provider
+    holds objects the tracker never saw — no silent divergence."""
+    from repro.core.lifespan import NeighborhoodTracker
+
+    def tracker_with_stranger():
+        provider = make_provider("grid", 0.4, 2)
+        (stranger,) = make_objects([(0.05, 0.05)])
+        stranger.oid = 999
+        provider.insert(stranger)
+        return NeighborhoodTracker(0.4, 2, 2, provider=provider)
+
+    (newcomer,) = make_objects([(0.0, 0.0)])
+    with pytest.raises(KeyError):
+        tracker_with_stranger().insert(newcomer)
+    with pytest.raises(KeyError):
+        tracker_with_stranger().insert_batch([newcomer])
+
+
+@pytest.mark.parametrize("backend", ("kdtree", "rtree"))
+def test_shared_matches_independent_runs(backend):
+    """Shared execution on a non-grid backend equals independent C-SGS."""
+    points = clustered_points(
+        [(2.0, 2.0), (6.0, 3.5)], per_cluster=100, noise=50, seed=8
+    )
+    theta_counts = (3, 5)
+    shared = SharedCSGS(0.35, theta_counts, 2, backend=backend)
+    independent = {
+        count: CSGS(0.35, count, 2, backend=backend)
+        for count in theta_counts
+    }
+    for shared_batch, solo_batch in zip(
+        stream_batches(points, 150, 75), stream_batches(points, 150, 75)
+    ):
+        outputs = shared.process_batch(shared_batch)
+        for count, csgs in independent.items():
+            solo = csgs.process_batch(solo_batch)
+            got = sorted(
+                (
+                    sorted(obj.oid for obj in cluster.core_objects),
+                    sorted(obj.oid for obj in cluster.edge_objects),
+                )
+                for cluster in outputs[count].clusters
+            )
+            want = sorted(
+                (
+                    sorted(obj.oid for obj in cluster.core_objects),
+                    sorted(obj.oid for obj in cluster.edge_objects),
+                )
+                for cluster in solo.clusters
+            )
+            assert got == want

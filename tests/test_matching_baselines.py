@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import clustered_points, make_objects
+from tests.helpers import clustered_points, make_objects
 from repro.clustering.dbscan import dbscan
 from repro.matching.crd_match import crd_distance
 from repro.matching.graph_edit import graph_edit_distance

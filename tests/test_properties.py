@@ -4,10 +4,10 @@ metric axioms, cross-algorithm equivalence)."""
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
-from conftest import make_objects, stream_batches
+from tests.helpers import make_objects, stream_batches
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import classify_objects, dbscan
 from repro.core.cells import CellStatus
@@ -156,6 +156,20 @@ def test_csgs_equals_dbscan_on_random_streams(points, theta_count):
 
 @given(stream_points)
 @settings(max_examples=25, deadline=None)
+@example(
+    # Two clusters sharing edge object (2.5, 1.5): its cell is a core
+    # cell of one cluster and an edge cell of the other simultaneously.
+    [(0.0, 0.0)] * 23
+    + [
+        (2.0, 1.0),
+        (2.0, 1.0),
+        (3.0, 2.0),
+        (3.0, 2.0),
+        (2.5, 1.5),
+        (2.25, 1.25),
+        (2.75, 1.75),
+    ]
+)
 def test_sgs_lemmas_hold_on_random_streams(points):
     theta_range, theta_count = 0.5, 3
     csgs = CSGS(theta_range, theta_count, 2)
@@ -174,10 +188,18 @@ def test_sgs_lemmas_hold_on_random_streams(points):
             assert sgs.max_location_error([]) <= theta_range + 1e-9
             # Lemma 4.4: populations are exact member counts.
             assert sgs.population == cluster.size
-            # Lemma 4.1/4.2 via statuses.
+            # Lemma 4.1/4.2 via statuses. Per Definition 4.2 statuses
+            # are per cluster: a core cell of cluster P can be an edge
+            # cell of cluster Q at the same time, so only this
+            # cluster's own members determine this SGS's statuses.
+            member_ids = {o.oid for o in cluster.members}
             for cell in sgs.cells.values():
                 cell_objects = grid.objects_in_cell(cell.location)
-                statuses = {labels[o.oid] for o in cell_objects}
+                statuses = {
+                    labels[o.oid]
+                    for o in cell_objects
+                    if o.oid in member_ids
+                }
                 if cell.status is CellStatus.CORE:
                     assert "core" in statuses
                 else:

@@ -6,7 +6,7 @@ import io
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import stream_batches
+from tests.helpers import stream_batches
 from repro.archive.pattern_base import PatternBase
 from repro.archive.persistence import load_pattern_base, roundtrip_bytes
 from repro.clustering.cluster import partition_signature

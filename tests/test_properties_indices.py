@@ -4,7 +4,7 @@ per-tuple incremental clusterer."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_objects
+from tests.helpers import make_objects
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import dbscan
 from repro.clustering.inc_dbscan import IncrementalDBSCAN

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import clustered_points, stream_batches
+from tests.helpers import clustered_points, stream_batches
 from repro.core.cells import CellStatus, SkeletalGridCell
 from repro.core.csgs import CSGS
 from repro.core.regenerate import regenerate_cluster, regenerate_points

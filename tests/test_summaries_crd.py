@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from conftest import make_objects
+from tests.helpers import make_objects
 from repro.clustering.cluster import Cluster
 from repro.geometry.distance import euclidean_distance
 from repro.summaries.crd import CRDSummarizer, _sphere_volume

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_objects
+from tests.helpers import make_objects
 from repro.clustering.cluster import Cluster
 from repro.summaries.rsp import RSPSummarizer
 
