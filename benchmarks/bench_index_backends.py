@@ -6,15 +6,24 @@ reports average per-window response time plus the per-window cluster
 counts, which must be identical across backends (the parity suite checks
 object-level equality; this bench re-checks it at workload scale while
 timing the search layer, the dominant insertion cost per Section 5.3).
+
+The refinement section compares the scalar and vectorized
+distance-refinement kernels (``repro.geometry.coordstore``) per backend:
+cluster counts must stay identical, and the perf-smoke test
+(``test_vectorized_refinement_not_slower``, run by CI) fails when the
+vectorized path loses to scalar on the default grid backend.
 """
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from common import SLIDES, STT_CASES, WIN, batches_over, report, stt_points
 from repro.core.csgs import CSGS
 from repro.eval.harness import Table, fmt_seconds
+from repro.geometry.coordstore import HAVE_NUMPY
 from repro.index import available_backends
 
 MEASURE_WINDOWS = 4
@@ -22,12 +31,14 @@ MEASURE_WINDOWS = 4
 _cache = {}
 
 
-def _run_backend(backend: str, case, slide: int):
-    key = (backend, case, slide)
+def _run_backend(backend: str, case, slide: int, refinement: str = "auto"):
+    key = (backend, case, slide, refinement)
     if key not in _cache:
         theta_range, theta_count = case
         points = stt_points(WIN + MEASURE_WINDOWS * slide, seed=0)
-        csgs = CSGS(theta_range, theta_count, 4, backend=backend)
+        csgs = CSGS(
+            theta_range, theta_count, 4, backend=backend, refinement=refinement
+        )
         window_times = []
         cluster_counts = []
         produced = 0
@@ -87,6 +98,105 @@ def test_index_backends_report(benchmark):
     report(table.render())
     benchmark.pedantic(
         lambda: _run_backend("grid", STT_CASES[1], SLIDES[1]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Refinement ablation: scalar vs vectorized kernels
+# ----------------------------------------------------------------------
+
+
+def _best_refinement_time(
+    backend: str, case, slide: int, refinement: str, reps: int = 2
+) -> float:
+    """Best-of-N average window time (fresh run each rep, cache bypassed)."""
+    best = None
+    for rep in range(reps):
+        _cache.pop((backend, case, slide, refinement), None)
+        avg, _ = _run_backend(backend, case, slide, refinement=refinement)
+        best = avg if best is None else min(best, avg)
+    return best
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector refinement needs NumPy")
+def test_refinement_speedup_report(benchmark):
+    """Print scalar-vs-vector per backend over the Figure-7 cases."""
+    table = Table(
+        "Refinement kernels — C-SGS avg response time per window "
+        "(Figure-7 workload, STT-like 4-D)",
+        ["backend", "case (thr,thc)", "scalar", "vector", "speedup"],
+    )
+    slide = SLIDES[1]
+    for backend in available_backends():
+        for case in STT_CASES:
+            t_scalar = _best_refinement_time(backend, case, slide, "scalar")
+            t_vector = _best_refinement_time(backend, case, slide, "vector")
+            table.add_row(
+                backend,
+                f"({case[0]}, {case[1]})",
+                fmt_seconds(t_scalar),
+                fmt_seconds(t_vector),
+                f"{t_scalar / t_vector:.2f}x",
+            )
+    report(table.render())
+    benchmark.pedantic(
+        lambda: _run_backend("grid", STT_CASES[1], SLIDES[1]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector refinement needs NumPy")
+def test_refinement_modes_agree(benchmark):
+    """Scalar and vector refinement produce identical cluster counts on
+    every backend (the golden fixture pins full object-level equality)."""
+    case, slide = STT_CASES[1], SLIDES[1]
+    for backend in available_backends():
+        scalar_counts = _run_backend(backend, case, slide, "scalar")[1]
+        vector_counts = _run_backend(backend, case, slide, "vector")[1]
+        assert scalar_counts == vector_counts, (
+            f"{backend}: refinement modes diverge: "
+            f"{scalar_counts} != {vector_counts}"
+        )
+    benchmark.pedantic(
+        lambda: _run_backend("grid", case, slide, "scalar"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector refinement needs NumPy")
+def test_vectorized_refinement_not_slower(benchmark):
+    """Perf smoke (CI): on the default grid backend, summed over the
+    Figure-7 cases, the vectorized path must not lose to scalar.
+
+    A small wall-clock allowance absorbs shared-runner scheduling noise
+    (locally the aggregate speedup is ~1.2x, well clear of the gate);
+    a genuine regression — vector meaningfully slower — still fails.
+    """
+    noise_allowance = 1.05
+    slide = SLIDES[1]
+    t_scalar = sum(
+        _best_refinement_time("grid", case, slide, "scalar")
+        for case in STT_CASES
+    )
+    t_vector = sum(
+        _best_refinement_time("grid", case, slide, "vector")
+        for case in STT_CASES
+    )
+    report(
+        "Perf smoke (grid, Figure-7 aggregate): "
+        f"scalar {fmt_seconds(t_scalar)} vs vector {fmt_seconds(t_vector)} "
+        f"({t_scalar / t_vector:.2f}x)"
+    )
+    assert t_vector <= t_scalar * noise_allowance, (
+        f"vectorized refinement slower than scalar: "
+        f"{t_vector:.3f}s > {t_scalar:.3f}s"
+    )
+    benchmark.pedantic(
+        lambda: _run_backend("grid", STT_CASES[1], slide, "vector"),
         rounds=1,
         iterations=1,
     )

@@ -32,6 +32,7 @@ from repro.core.serialize import sgs_from_json, sgs_to_json
 from repro.data.gmti import GMTIStream
 from repro.data.stt import STTStream
 from repro.data.synthetic import DriftingBlobStream
+from repro.geometry.coordstore import REFINEMENT_MODES
 from repro.index.provider import available_backends
 from repro.matching.metric import DistanceMetricSpec
 from repro.archive.analyzer import PatternAnalyzer
@@ -91,6 +92,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.theta_range, args.theta_count, dimensions, window,
         archive_level=args.level,
         index_backend=args.index_backend,
+        refinement=args.refine,
     )
     for output in system.run_steps(objects, max_windows=args.max_windows):
         digest = ", ".join(
@@ -192,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         default="grid",
         help="neighbor-search backend for range queries",
+    )
+    run.add_argument(
+        "--refine",
+        choices=REFINEMENT_MODES,
+        default="auto",
+        help="distance-refinement kernel path (auto: vectorized via "
+        "NumPy when available; scalar: pure-Python escape hatch)",
     )
     run.add_argument("--level", type=int, default=0, help="archive resolution")
     run.add_argument("--max-windows", type=int, default=None)

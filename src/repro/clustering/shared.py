@@ -45,6 +45,7 @@ class SharedCSGS:
         dimensions: int,
         provider: Optional[NeighborProvider] = None,
         backend: Optional[str] = None,
+        refinement: Optional[str] = None,
     ):
         if not theta_counts:
             raise ValueError("need at least one theta_count")
@@ -53,7 +54,9 @@ class SharedCSGS:
         self.theta_range = float(theta_range)
         self.theta_counts = tuple(int(c) for c in theta_counts)
         self.dimensions = int(dimensions)
-        provider = resolve_provider(provider, backend, theta_range, dimensions)
+        provider = resolve_provider(
+            provider, backend, theta_range, dimensions, refinement=refinement
+        )
         self.provider = provider
         # Backward-compatible alias: the provider used to always be a grid.
         self.grid = provider

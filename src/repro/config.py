@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.geometry.coordstore import validate_refinement
 from repro.index.provider import validate_backend
 from repro.matching.metric import DistanceMetricSpec
 from repro.streams.windows import (
@@ -31,7 +32,10 @@ class ContinuousClusteringQuery:
 
     ``index_backend`` selects the neighbor-search backend the query
     executes against (``grid`` / ``kdtree`` / ``rtree``; see
-    :mod:`repro.index.provider`).
+    :mod:`repro.index.provider`). ``refinement`` selects the
+    distance-refinement kernel path (``auto`` / ``scalar`` / ``vector``;
+    see :mod:`repro.geometry.coordstore` — ``auto`` vectorizes when
+    NumPy is available).
     """
 
     theta_range: float
@@ -39,6 +43,7 @@ class ContinuousClusteringQuery:
     dimensions: int
     window: WindowSpec
     index_backend: str = "grid"
+    refinement: str = "auto"
 
     def __post_init__(self) -> None:
         if self.theta_range <= 0:
@@ -48,6 +53,7 @@ class ContinuousClusteringQuery:
         if self.dimensions < 1:
             raise ValueError("dimensions must be at least 1")
         validate_backend(self.index_backend)
+        validate_refinement(self.refinement)
 
     @classmethod
     def count_based(
@@ -58,6 +64,7 @@ class ContinuousClusteringQuery:
         win: int,
         slide: int,
         index_backend: str = "grid",
+        refinement: str = "auto",
     ) -> "ContinuousClusteringQuery":
         return cls(
             theta_range,
@@ -65,6 +72,7 @@ class ContinuousClusteringQuery:
             dimensions,
             CountBasedWindowSpec(win, slide),
             index_backend=index_backend,
+            refinement=refinement,
         )
 
     @classmethod
@@ -77,6 +85,7 @@ class ContinuousClusteringQuery:
         slide: float,
         origin: float = 0.0,
         index_backend: str = "grid",
+        refinement: str = "auto",
     ) -> "ContinuousClusteringQuery":
         return cls(
             theta_range,
@@ -84,6 +93,7 @@ class ContinuousClusteringQuery:
             dimensions,
             TimeBasedWindowSpec(win, slide, origin),
             index_backend=index_backend,
+            refinement=refinement,
         )
 
 

@@ -1,5 +1,17 @@
 """Geometric primitives shared by the clustering and indexing substrates."""
 
+from repro.geometry.coordstore import (
+    HAVE_NUMPY,
+    REFINEMENT_MODES,
+    CandidateBatch,
+    CoordStore,
+    canonical_sq_dist,
+    get_default_refinement,
+    resolve_refinement,
+    set_default_refinement,
+    validate_refinement,
+    within_sq_range,
+)
 from repro.geometry.distance import (
     chebyshev_distance,
     euclidean_distance,
@@ -8,8 +20,18 @@ from repro.geometry.distance import (
 from repro.geometry.mbr import MBR
 
 __all__ = [
+    "HAVE_NUMPY",
     "MBR",
+    "REFINEMENT_MODES",
+    "CandidateBatch",
+    "CoordStore",
+    "canonical_sq_dist",
     "chebyshev_distance",
     "euclidean_distance",
+    "get_default_refinement",
+    "resolve_refinement",
+    "set_default_refinement",
     "squared_euclidean_distance",
+    "validate_refinement",
+    "within_sq_range",
 ]

@@ -22,8 +22,10 @@ run a non-cell-backed backend (k-d tree, R-tree) keep a bare
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from operator import add
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.geometry.coordstore import CoordStore
 from repro.streams.objects import StreamObject
 
 Coord = Tuple[int, ...]
@@ -84,18 +86,27 @@ class CellMap:
         Returns the number of objects removed. This is the only
         expiration work the lifespan-based algorithms perform.
         """
-        removed = 0
+        removed: List[StreamObject] = []
         empty: List[Coord] = []
         for coord, bucket in self._cells.items():
             kept = [obj for obj in bucket if obj.last_window >= window_index]
-            removed += len(bucket) - len(kept)
+            if len(kept) != len(bucket):
+                removed.extend(
+                    obj for obj in bucket if obj.last_window < window_index
+                )
             if kept:
                 bucket[:] = kept
             else:
                 empty.append(coord)
         for coord in empty:
             del self._cells[coord]
-        return removed
+        if removed:
+            self._purged(removed)
+        return len(removed)
+
+    def _purged(self, objects: List[StreamObject]) -> None:
+        """Hook: subclasses keeping auxiliary per-object state (the
+        grid's coordinate store) drop the purged objects here."""
 
     def objects_in_cell(self, coord: Coord) -> List[StreamObject]:
         """Return the live objects stored in one cell (empty list if none)."""
@@ -126,16 +137,41 @@ class GridIndex(CellMap):
     :class:`~repro.index.provider.NeighborProvider` protocol: single
     range queries (all objects within θr of a point) and batched
     ``range_query_many`` (one candidate-gathering pass per distinct base
-    cell instead of one per query).
+    cell instead of one per query). Candidate refinement runs through a
+    :class:`~repro.geometry.coordstore.CoordStore`: the whole candidate
+    set of a query (union of reachable buckets) is refined in one
+    batched kernel call instead of a per-point coordinate loop.
     """
 
-    def __init__(self, theta_range: float, dimensions: int):
+    def __init__(
+        self,
+        theta_range: float,
+        dimensions: int,
+        refinement: Optional[str] = None,
+    ):
         super().__init__(theta_range, dimensions)
         # Neighbors of a point can lie at most ceil(sqrt(d)) cells away
         # in each dimension because theta_range == side * sqrt(d).
         self.reach = int(math.ceil(math.sqrt(self.dimensions)))
         self._sq_range = self.theta_range * self.theta_range
         self._offsets = self._build_offsets()
+        self._store = CoordStore(dimensions, refinement=refinement)
+        self.refinement = self._store.refinement
+
+    def insert(self, obj: StreamObject) -> Coord:
+        # Store first: it validates (duplicate oid, dimensionality) and
+        # raises before the cell bucket is touched, keeping both
+        # structures consistent on failure.
+        self._store.add(obj)
+        return super().insert(obj)
+
+    def remove(self, obj: StreamObject) -> None:
+        super().remove(obj)  # raises before the store is touched
+        self._store.remove(obj.oid)
+
+    def _purged(self, objects: List[StreamObject]) -> None:
+        for obj in objects:
+            self._store.remove(obj.oid)
 
     def _build_offsets(self) -> List[Coord]:
         """Precompute the relative cell offsets a range query must visit.
@@ -166,37 +202,34 @@ class GridIndex(CellMap):
         expand(())
         return offsets
 
+    def _gather_candidates(self, base: Coord) -> List[StreamObject]:
+        """Union of the buckets reachable from a query's base cell."""
+        candidates: List[StreamObject] = []
+        cells = self._cells
+        # map(add, ...) keeps the per-offset coordinate arithmetic at the
+        # C level; this loop runs (2*reach+1)^d times per distinct base
+        # cell and dominates candidate gathering in higher dimensions.
+        for offset in self._offsets:
+            bucket = cells.get(tuple(map(add, base, offset)))
+            if bucket:
+                candidates.extend(bucket)
+        return candidates
+
     def range_query(
         self, coords: Sequence[float], exclude_oid: int = -1
     ) -> List[StreamObject]:
         """Return all stored objects within θr of ``coords``.
 
         ``exclude_oid`` omits the query object itself when it has already
-        been inserted.
+        been inserted. The whole candidate set is refined in one store
+        kernel call (boundary-inclusive <= θr², canonical summation
+        order — see :mod:`repro.geometry.coordstore`; the parity suite
+        pins the agreement across backends and refinement modes).
         """
-        # The inlined refinement below (early-break, boundary-inclusive
-        # <= θr²) must match provider._within_sq_range — every backend
-        # shares those semantics; the parity suite pins the agreement.
         base = self.cell_coord(coords)
-        result: List[StreamObject] = []
-        sq_range = self._sq_range
-        for offset in self._offsets:
-            coord = tuple(b + o for b, o in zip(base, offset))
-            bucket = self._cells.get(coord)
-            if not bucket:
-                continue
-            for obj in bucket:
-                if obj.oid == exclude_oid:
-                    continue
-                total = 0.0
-                for a, b in zip(coords, obj.coords):
-                    diff = a - b
-                    total += diff * diff
-                    if total > sq_range:
-                        break
-                else:
-                    result.append(obj)
-        return result
+        return self._store.refine(
+            self._gather_candidates(base), coords, self._sq_range, exclude_oid
+        )
 
     def range_query_many(
         self, queries: Sequence[Tuple[Sequence[float], int]]
@@ -204,38 +237,28 @@ class GridIndex(CellMap):
         """Batched range queries: ``[(coords, exclude_oid), ...]``.
 
         The candidate set (union of reachable buckets) depends only on
-        the query's base cell, so it is gathered once per *distinct*
-        base cell and reused by every query landing in that cell — on
-        clustered window batches this turns the per-object bucket walk
-        into a per-occupied-cell one.
+        the query's base cell, so queries are grouped by *distinct* base
+        cell: candidates are gathered (and their store rows resolved)
+        once per cell, and all of the cell's probes are refined in a
+        single batched kernel sweep — on clustered window batches the
+        C-SGS per-slide batch becomes one array pass per occupied cell.
         """
-        results: List[List[StreamObject]] = []
-        candidates_by_base: Dict[Coord, List[StreamObject]] = {}
-        cells = self._cells
-        sq_range = self._sq_range
-        for coords, exclude_oid in queries:
+        if not queries:
+            return []
+        query_indices_by_base: Dict[Coord, List[int]] = {}
+        for qi, (coords, _) in enumerate(queries):
             base = self.cell_coord(coords)
-            candidates = candidates_by_base.get(base)
-            if candidates is None:
-                candidates = []
-                for offset in self._offsets:
-                    bucket = cells.get(
-                        tuple(b + o for b, o in zip(base, offset))
-                    )
-                    if bucket:
-                        candidates.extend(bucket)
-                candidates_by_base[base] = candidates
-            matches: List[StreamObject] = []
-            for obj in candidates:
-                if obj.oid == exclude_oid:
-                    continue
-                total = 0.0
-                for a, b in zip(coords, obj.coords):
-                    diff = a - b
-                    total += diff * diff
-                    if total > sq_range:
-                        break
-                else:
-                    matches.append(obj)
-            results.append(matches)
+            query_indices_by_base.setdefault(base, []).append(qi)
+        results: List[List[StreamObject]] = [[] for _ in queries]
+        sq_range = self._sq_range
+        for base, indices in query_indices_by_base.items():
+            batch = self._store.batch(self._gather_candidates(base))
+            refined = self._store.refine_many(
+                batch,
+                [queries[qi][0] for qi in indices],
+                sq_range,
+                [queries[qi][1] for qi in indices],
+            )
+            for qi, matches in zip(indices, refined):
+                results[qi] = matches
         return results

@@ -7,50 +7,92 @@ analyses) only need one-shot range search. A balanced k-d tree built in
 ``O(n log n)`` offers that without choosing a grid resolution, and the
 index ablation compares the two on the library's workloads.
 
-Implementation: median-split construction on alternating axes over the
-point array; range queries descend only into sub-trees whose bounding
-slabs intersect the query ball.
+Implementation: median-split construction on alternating axes down to
+*bucket leaves* of up to ``leaf_size`` points. Leaf points are laid out
+as contiguous row spans of an internal
+:class:`~repro.geometry.coordstore.CoordStore`, so leaf refinement runs
+through the store's batched kernels (one array sweep per visited leaf on
+the vector path) instead of a per-point Python loop. Range queries
+descend only into sub-trees whose bounding slabs intersect the query
+ball.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.geometry.coordstore import CoordStore, canonical_sq_dist
 from repro.streams.objects import StreamObject
 
 
-class _Node:
-    __slots__ = ("obj", "axis", "left", "right")
+class _Leaf:
+    """A bucket of points stored as rows ``[start, stop)`` of the store."""
 
-    def __init__(self, obj: StreamObject, axis: int):
-        self.obj = obj
+    __slots__ = ("start", "stop")
+
+    def __init__(self, start: int, stop: int):
+        self.start = start
+        self.stop = stop
+
+
+class _Inner:
+    """Axis split: left holds coords <= split, right holds >= split."""
+
+    __slots__ = ("axis", "split", "left", "right")
+
+    def __init__(self, axis: int, split: float):
         self.axis = axis
-        self.left: Optional["_Node"] = None
-        self.right: Optional["_Node"] = None
+        self.split = split
+        self.left: "_Node" = None
+        self.right: "_Node" = None
+
+
+_Node = Optional[Union[_Leaf, _Inner]]
 
 
 class KDTree:
     """Static, balanced k-d tree over stream objects."""
 
-    def __init__(self, objects: Sequence[StreamObject], dimensions: int):
+    def __init__(
+        self,
+        objects: Sequence[StreamObject],
+        dimensions: int,
+        leaf_size: Optional[int] = None,
+        refinement: Optional[str] = None,
+    ):
         if dimensions < 1:
             raise ValueError("dimensions must be positive")
+        if leaf_size is not None and leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
         self.dimensions = dimensions
         self._size = len(objects)
-        self._root = self._build(list(objects), 0)
+        # Leaf spans index rows positionally; oids may repeat.
+        self._store = CoordStore(
+            dimensions, refinement=refinement, track_oids=False
+        )
+        self.refinement = self._store.refinement
+        if leaf_size is None:
+            # Vectorized leaves want enough points per span to amortize
+            # the kernel call; scalar leaves favour tighter pruning.
+            leaf_size = 64 if self.refinement == "vector" else 16
+        self.leaf_size = leaf_size
+        self._root: _Node = (
+            self._build(list(objects), 0) if objects else None
+        )
 
-    def _build(
-        self, objects: List[StreamObject], depth: int
-    ) -> Optional[_Node]:
-        if not objects:
-            return None
+    def _build(self, objects: List[StreamObject], depth: int) -> _Node:
+        if len(objects) <= self.leaf_size:
+            start = len(self._store)
+            for obj in objects:
+                self._store.add(obj)
+            return _Leaf(start, start + len(objects))
         axis = depth % self.dimensions
         objects.sort(key=lambda obj: obj.coords[axis])
         median = len(objects) // 2
-        node = _Node(objects[median], axis)
+        node = _Inner(axis, objects[median].coords[axis])
         node.left = self._build(objects[:median], depth + 1)
-        node.right = self._build(objects[median + 1 :], depth + 1)
+        node.right = self._build(objects[median:], depth + 1)
         return node
 
     def __len__(self) -> int:
@@ -68,25 +110,23 @@ class KDTree:
         if radius < 0:
             raise ValueError("radius must be non-negative")
         result: List[StreamObject] = []
+        if self._root is None:
+            return result
         sq_radius = radius * radius
         stack = [self._root]
         while stack:
             node = stack.pop()
-            if node is None:
+            if type(node) is _Leaf:
+                result.extend(
+                    self._store.refine_span(
+                        node.start, node.stop, coords, sq_radius, exclude_oid
+                    )
+                )
                 continue
-            delta = coords[node.axis] - node.obj.coords[node.axis]
-            total = 0.0
-            for a, b in zip(coords, node.obj.coords):
-                diff = a - b
-                total += diff * diff
-                if total > sq_radius:
-                    break
-            else:
-                if node.obj.oid != exclude_oid:
-                    result.append(node.obj)
-            if delta <= radius:
+            delta = coords[node.axis] - node.split
+            if delta <= radius:  # left slab (coords <= split) reachable
                 stack.append(node.left)
-            if delta >= -radius:
+            if delta >= -radius:  # right slab (coords >= split) reachable
                 stack.append(node.right)
         return result
 
@@ -97,20 +137,24 @@ class KDTree:
         best: Optional[StreamObject] = None
         best_sq = math.inf
 
-        def visit(node: Optional[_Node]) -> None:
+        def visit(node: _Node) -> None:
             nonlocal best, best_sq
             if node is None:
                 return
-            if node.obj.oid != exclude_oid:
-                sq = sum(
-                    (a - b) ** 2 for a, b in zip(coords, node.obj.coords)
-                )
-                if sq < best_sq:
-                    best_sq = sq
-                    best = node.obj
-            delta = coords[node.axis] - node.obj.coords[node.axis]
+            if type(node) is _Leaf:
+                for obj in self._store.span_objects(node.start, node.stop):
+                    if obj.oid == exclude_oid:
+                        continue
+                    sq = canonical_sq_dist(coords, obj.coords)
+                    if sq < best_sq:
+                        best_sq = sq
+                        best = obj
+                return
+            delta = coords[node.axis] - node.split
             near, far = (
-                (node.left, node.right) if delta <= 0 else (node.right, node.left)
+                (node.left, node.right)
+                if delta <= 0
+                else (node.right, node.left)
             )
             visit(near)
             if delta * delta < best_sq:

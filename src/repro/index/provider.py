@@ -37,6 +37,11 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.geometry.coordstore import (
+    CoordStore,
+    resolve_refinement,
+    within_sq_range,
+)
 from repro.geometry.mbr import MBR
 from repro.index.grid_index import GridIndex
 from repro.index.kdtree import KDTree
@@ -47,23 +52,11 @@ from repro.streams.objects import StreamObject
 #: (typically the probe object itself, already inserted).
 Query = Tuple[Sequence[float], int]
 
-
-def _within_sq_range(
-    coords: Sequence[float], other: Sequence[float], sq_range: float
-) -> bool:
-    """Exact refinement: squared distance <= sq_range (boundary inclusive).
-
-    Every backend must agree on these boundary semantics — GridIndex
-    inlines the identical loop on its hot path; the cross-backend parity
-    suite pins the agreement.
-    """
-    total = 0.0
-    for a, b in zip(coords, other):
-        diff = a - b
-        total += diff * diff
-        if total > sq_range:
-            return False
-    return True
+#: Backward-compatible alias. Exact refinement — squared distance
+#: <= sq_range, boundary inclusive, canonical summation order — lives in
+#: :mod:`repro.geometry.coordstore`; every backend refines through the
+#: same kernels and the parity suite pins the agreement.
+_within_sq_range = within_sq_range
 
 
 @runtime_checkable
@@ -131,6 +124,7 @@ class KDTreeProvider(_FallbackBatchMixin):
         dimensions: int,
         rebuild_fraction: float = 0.25,
         min_buffer: int = 64,
+        refinement: Optional[str] = None,
     ):
         if theta_range <= 0:
             raise ValueError("theta_range must be positive")
@@ -138,15 +132,22 @@ class KDTreeProvider(_FallbackBatchMixin):
             raise ValueError("dimensions must be positive")
         self.theta_range = float(theta_range)
         self.dimensions = int(dimensions)
+        self.refinement = resolve_refinement(refinement)
         self._rebuild_fraction = float(rebuild_fraction)
         self._min_buffer = int(min_buffer)
         self._objects: Dict[int, StreamObject] = {}
         self._tree: Optional[KDTree] = None
         self._pending: Dict[int, StreamObject] = {}
+        # Insertion-buffer coordinates, scanned with one store kernel
+        # call per query instead of a per-point Python loop.
+        self._buffer = CoordStore(self.dimensions, refinement=self.refinement)
         self._stale = 0  # removed objects still present in _tree
         self.rebuilds = 0
 
     def insert(self, obj: StreamObject) -> None:
+        # Buffer first: it validates (duplicate oid, dimensionality) and
+        # raises before the membership dicts are touched.
+        self._buffer.add(obj)
         self._objects[obj.oid] = obj
         self._pending[obj.oid] = obj
         self._maybe_rebuild()
@@ -156,6 +157,8 @@ class KDTreeProvider(_FallbackBatchMixin):
             raise KeyError(f"object {obj.oid} not present in kd-tree")
         if self._pending.pop(obj.oid, None) is None:
             self._stale += 1
+        else:
+            self._buffer.remove(obj.oid)
         self._maybe_rebuild()
 
     def purge_expired(self, window_index: int) -> int:
@@ -170,6 +173,8 @@ class KDTreeProvider(_FallbackBatchMixin):
             del self._objects[obj.oid]
             if self._pending.pop(obj.oid, None) is None:
                 self._stale += 1
+            else:
+                self._buffer.remove(obj.oid)
         if expired:
             self._maybe_rebuild()
         return len(expired)
@@ -184,10 +189,15 @@ class KDTreeProvider(_FallbackBatchMixin):
     def _rebuild(self) -> None:
         self.rebuilds += 1
         if self._objects:
-            self._tree = KDTree(list(self._objects.values()), self.dimensions)
+            self._tree = KDTree(
+                list(self._objects.values()),
+                self.dimensions,
+                refinement=self.refinement,
+            )
         else:
             self._tree = None
         self._pending = {}
+        self._buffer = CoordStore(self.dimensions, refinement=self.refinement)
         self._stale = 0
 
     def range_query(
@@ -207,11 +217,9 @@ class KDTreeProvider(_FallbackBatchMixin):
                 if self._objects.get(obj.oid) is obj:
                     result.append(obj)
         sq_range = self.theta_range * self.theta_range
-        for obj in self._pending.values():
-            if obj.oid != exclude_oid and _within_sq_range(
-                coords, obj.coords, sq_range
-            ):
-                result.append(obj)
+        result.extend(
+            self._buffer.within_radius(coords, sq_range, exclude_oid)
+        )
         return result
 
     def range_query_many(
@@ -243,7 +251,11 @@ class RTreeProvider(_FallbackBatchMixin):
     """
 
     def __init__(
-        self, theta_range: float, dimensions: int, max_entries: int = 8
+        self,
+        theta_range: float,
+        dimensions: int,
+        max_entries: int = 8,
+        refinement: Optional[str] = None,
     ):
         if theta_range <= 0:
             raise ValueError("theta_range must be positive")
@@ -253,8 +265,15 @@ class RTreeProvider(_FallbackBatchMixin):
         self.dimensions = int(dimensions)
         self._tree = RTree(max_entries=max_entries)
         self._entries: Dict[int, Tuple[MBR, StreamObject]] = {}
+        # Leaf-entry refinement: the tree's candidate list is refined in
+        # one store kernel call per query.
+        self._store = CoordStore(self.dimensions, refinement=refinement)
+        self.refinement = self._store.refinement
 
     def insert(self, obj: StreamObject) -> None:
+        # Store first: it validates (duplicate oid, dimensionality) and
+        # raises before the tree or the entry map is touched.
+        self._store.add(obj)
         box = MBR.from_point(obj.coords)
         self._tree.insert(box, obj)
         self._entries[obj.oid] = (box, obj)
@@ -264,6 +283,7 @@ class RTreeProvider(_FallbackBatchMixin):
         if entry is None:
             raise KeyError(f"object {obj.oid} not present in r-tree")
         self._tree.delete(entry[0], entry[1])
+        self._store.remove(obj.oid)
 
     def purge_expired(self, window_index: int) -> int:
         expired = [
@@ -283,14 +303,9 @@ class RTreeProvider(_FallbackBatchMixin):
             tuple(value - radius for value in coords),
             tuple(value + radius for value in coords),
         )
-        sq_range = radius * radius
-        result: List[StreamObject] = []
-        for obj in self._tree.search(ball):
-            if obj.oid != exclude_oid and _within_sq_range(
-                coords, obj.coords, sq_range
-            ):
-                result.append(obj)
-        return result
+        return self._store.refine(
+            self._tree.search(ball), coords, radius * radius, exclude_oid
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -324,10 +339,21 @@ def validate_backend(backend: str) -> str:
 
 
 def make_provider(
-    backend: str, theta_range: float, dimensions: int
+    backend: str,
+    theta_range: float,
+    dimensions: int,
+    refinement: Optional[str] = None,
 ) -> NeighborProvider:
-    """Construct the named neighbor-search backend."""
-    return BACKENDS[validate_backend(backend)](theta_range, dimensions)
+    """Construct the named neighbor-search backend.
+
+    ``refinement`` selects the distance-refinement kernel path
+    (``auto`` / ``scalar`` / ``vector``; see
+    :mod:`repro.geometry.coordstore`). ``None`` means the process-wide
+    default (``auto``: vectorized when NumPy is available).
+    """
+    return BACKENDS[validate_backend(backend)](
+        theta_range, dimensions, refinement=refinement
+    )
 
 
 def resolve_provider(
@@ -335,14 +361,24 @@ def resolve_provider(
     backend: Optional[str],
     theta_range: float,
     dimensions: int,
+    refinement: Optional[str] = None,
 ) -> NeighborProvider:
     """Resolve the provider/backend constructor convention every
     consumer shares: an instance and a name are mutually exclusive, and
-    neither means the default grid backend."""
+    neither means the default grid backend. A ready instance already
+    fixed its refinement path, so combining one with ``refinement`` is
+    rejected."""
     if provider is not None and backend is not None:
         raise ValueError("pass either a provider instance or a backend name")
     if provider is None:
-        return make_provider(backend or "grid", theta_range, dimensions)
+        return make_provider(
+            backend or "grid", theta_range, dimensions, refinement=refinement
+        )
+    if refinement is not None:
+        raise ValueError(
+            "refinement is fixed by the provider instance; "
+            "pass a backend name to choose one"
+        )
     return provider
 
 

@@ -19,7 +19,10 @@ class StreamObject:
 
     Attributes:
         oid: unique, monotonically increasing object identifier.
-        coords: position in the clustering space.
+        coords: position in the clustering space. Normalized to floats
+            at construction so scalar refinement (Python float) and the
+            vectorized coordinate store (float64 columns) compute over
+            bit-identical values regardless of the input number types.
         timestamp: event time (seconds, arbitrary epoch). Only meaningful
             for time-based windows; defaults to the arrival order.
         first_window / last_window: inclusive window-index range in which
@@ -44,7 +47,7 @@ class StreamObject:
         payload: object = None,
     ):
         self.oid = oid
-        self.coords = tuple(coords)
+        self.coords = tuple(float(value) for value in coords)
         self.timestamp = float(oid if timestamp is None else timestamp)
         self.first_window: int = -1
         self.last_window: int = -1

@@ -43,6 +43,7 @@ class StreamPatternMiningSystem:
         archive_level: int = 0,
         archive_byte_budget: Optional[int] = None,
         index_backend: Optional[str] = None,
+        refinement: Optional[str] = None,
     ):
         self.extractor = PatternExtractor(
             theta_range,
@@ -50,6 +51,7 @@ class StreamPatternMiningSystem:
             dimensions,
             window_spec,
             index_backend=index_backend,
+            refinement=refinement,
         )
         self.pattern_base = PatternBase()
         self.archiver = PatternArchiver(
@@ -69,14 +71,17 @@ class StreamPatternMiningSystem:
         """Build a system from a declarative query (Figure 2 template).
 
         Consumes every field of the query — θr, θc, dimensions, window
-        spec, and ``index_backend`` — so the neighbor-search backend
-        declared on the query is what the pipeline actually runs on.
-        Remaining keyword arguments (metric, archive policy, …) pass
-        through to the constructor; an explicit non-None
-        ``index_backend`` keyword overrides the query's.
+        spec, ``index_backend``, and ``refinement`` — so the
+        neighbor-search backend and kernel path declared on the query
+        are what the pipeline actually runs on. Remaining keyword
+        arguments (metric, archive policy, …) pass through to the
+        constructor; explicit non-None ``index_backend`` / ``refinement``
+        keywords override the query's.
         """
         if kwargs.get("index_backend") is None:
             kwargs["index_backend"] = query.index_backend
+        if kwargs.get("refinement") is None:
+            kwargs["refinement"] = query.refinement
         return cls(
             query.theta_range,
             query.theta_count,

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the golden C-SGS fixture from the canonical run.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regen_golden.py
+
+Only rerun this after an *intentional* change to C-SGS output; the diff
+of ``csgs_stt_small.json`` is part of the review surface for any such
+change.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from tests.golden import workload  # noqa: E402
+
+
+def main() -> int:
+    trace = workload.run_trace(backend="grid", refinement="scalar")
+    text = workload.render(trace)
+    workload.GOLDEN_PATH.write_text(text)
+    clusters = sum(len(entry["clusters"]) for entry in trace)
+    print(
+        f"wrote {workload.GOLDEN_PATH} "
+        f"({len(text)} bytes, {len(trace)} windows, {clusters} clusters)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

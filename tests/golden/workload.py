@@ -1,0 +1,93 @@
+"""The golden C-SGS workload: one seeded Figure-7-style run, serialized.
+
+The golden fixture pins the *complete* window-by-window C-SGS output —
+cluster memberships and SGS summaries — for a small seeded STT-like 4-D
+stream (the paper's Figure-7 configuration, scaled down). Every
+neighbor-search backend × refinement mode must reproduce the serialized
+file byte-for-byte; any change to the refinement kernels, the provider
+seam, or the C-SGS pipeline that alters output in any way trips it.
+
+Regenerating (only after an *intentional* output change)::
+
+    PYTHONPATH=src python tests/golden/regen_golden.py
+
+which rewrites ``csgs_stt_small.json`` from the canonical run (grid
+backend, scalar refinement) and prints a digest to eyeball in review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.core.csgs import CSGS
+from repro.data.stt import STTStream
+from repro.streams.source import ListSource
+from repro.streams.windows import CountBasedWindowSpec, Windower
+
+#: Scaled-down Figure-7 configuration (STT-like 4-D stream, the paper's
+#: middle parameter case θr=0.1, θc=8).
+THETA_RANGE = 0.1
+THETA_COUNT = 8
+DIMENSIONS = 4
+WIN = 200
+SLIDE = 100
+WINDOWS = 6
+SEED = 7
+
+GOLDEN_PATH = Path(__file__).with_name("csgs_stt_small.json")
+
+
+def workload_points() -> List[tuple]:
+    count = WIN + (WINDOWS - 1) * SLIDE
+    return list(STTStream(total_records=count, seed=SEED).points(count))
+
+
+def run_trace(backend: str, refinement: str) -> List[dict]:
+    """Window-by-window C-SGS output in canonical (sorted) form."""
+    csgs = CSGS(
+        THETA_RANGE,
+        THETA_COUNT,
+        DIMENSIONS,
+        backend=backend,
+        refinement=refinement,
+    )
+    spec = CountBasedWindowSpec(win=WIN, slide=SLIDE)
+    trace = []
+    for batch in Windower(spec).batches(ListSource(workload_points())):
+        output = csgs.process_batch(batch)
+        trace.append(
+            {
+                "window": output.window_index,
+                "clusters": [
+                    {
+                        "id": cluster.cluster_id,
+                        "core": sorted(o.oid for o in cluster.core_objects),
+                        "edge": sorted(o.oid for o in cluster.edge_objects),
+                    }
+                    for cluster in output.clusters
+                ],
+                "summaries": [
+                    {
+                        "cluster_id": sgs.cluster_id,
+                        "cells": sorted(
+                            [
+                                list(cell.location),
+                                cell.status.name,
+                                cell.population,
+                                sorted(map(list, cell.connections)),
+                            ]
+                            for cell in sgs.cells.values()
+                        ),
+                    }
+                    for sgs in output.summaries
+                ],
+            }
+        )
+    return trace
+
+
+def render(trace: List[dict]) -> str:
+    """Canonical byte representation of a trace (what the file holds)."""
+    return json.dumps(trace, sort_keys=True, indent=1) + "\n"

@@ -1,0 +1,56 @@
+"""Golden-output regression: every backend × refinement mode must
+reproduce the serialized C-SGS run byte-for-byte.
+
+The fixture (``tests/golden/csgs_stt_small.json``) holds the complete
+window-by-window output — cluster memberships and SGS summaries — of a
+seeded Figure-7-style workload. A mismatch means the refinement
+kernels, the provider seam, or the C-SGS pipeline changed observable
+output; regenerate only for intentional changes (see
+``tests/golden/regen_golden.py``).
+"""
+
+import pytest
+
+from repro.geometry.coordstore import HAVE_NUMPY
+from repro.index import available_backends
+from tests.golden import workload
+
+REFINEMENTS = ("scalar", "vector") if HAVE_NUMPY else ("scalar",)
+
+
+@pytest.fixture(scope="module")
+def golden_text():
+    assert workload.GOLDEN_PATH.exists(), (
+        "golden fixture missing; run "
+        "`PYTHONPATH=src python tests/golden/regen_golden.py`"
+    )
+    return workload.GOLDEN_PATH.read_text()
+
+
+@pytest.mark.parametrize("refinement", REFINEMENTS)
+@pytest.mark.parametrize("backend", available_backends())
+def test_csgs_reproduces_golden_output(backend, refinement, golden_text):
+    got = workload.render(workload.run_trace(backend, refinement))
+    assert got == golden_text, (
+        f"{backend}/{refinement} diverged from the golden C-SGS output"
+    )
+
+
+def test_golden_fixture_is_nontrivial(golden_text):
+    """Guard against silently regenerating an empty/degenerate fixture."""
+    import json
+
+    trace = json.loads(golden_text)
+    # The windower emits one extra window for the final partial slide.
+    assert len(trace) >= workload.WINDOWS
+    total_clusters = sum(len(entry["clusters"]) for entry in trace)
+    assert total_clusters >= 10
+    assert any(
+        cluster["edge"] for entry in trace for cluster in entry["clusters"]
+    )
+    assert any(
+        cell[1] == "EDGE"
+        for entry in trace
+        for summary in entry["summaries"]
+        for cell in summary["cells"]
+    )

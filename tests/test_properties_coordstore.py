@@ -1,0 +1,299 @@
+"""Property-based parity suite for the CoordStore refinement kernels.
+
+The canonical neighbor predicate is pinned in
+:mod:`repro.geometry.coordstore`: dimension-ascending sequential
+accumulation of squared differences in IEEE doubles, boundary-inclusive
+``<= θr²``. Three implementations must agree *exactly*:
+
+* the scalar early-exit predicate (:func:`within_sq_range`),
+* the scalar full sum (:func:`canonical_sq_dist`),
+* the vectorized column kernels of a ``refinement='vector'`` store.
+
+These tests assert the agreement — including exact-boundary points,
+duplicate coordinates, tombstoned (removed) oids, and 1-D through 5-D
+inputs — rather than assuming the float-accumulation argument holds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.coordstore import (
+    HAVE_NUMPY,
+    CoordStore,
+    canonical_sq_dist,
+    get_default_refinement,
+    resolve_refinement,
+    set_default_refinement,
+    within_sq_range,
+)
+from repro.streams.objects import StreamObject
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="vector kernels require NumPy"
+)
+
+
+@pytest.fixture(autouse=True)
+def _always_vectorize(monkeypatch):
+    """Drop the small-batch scalar fallback so the vector kernels are
+    genuinely exercised at hypothesis-sized inputs."""
+    monkeypatch.setattr(CoordStore, "_VECTOR_MIN_WORK", 1)
+
+
+coordinate = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def store_cases(draw, min_points=1, max_points=40):
+    """(dimensions, point list) with deliberate duplicate coordinates."""
+    dims = draw(st.integers(min_value=1, max_value=5))
+    pool = draw(
+        st.lists(
+            st.tuples(*[coordinate] * dims), min_size=1, max_size=12
+        )
+    )
+    # Sample points from a small pool so duplicates are common.
+    points = draw(
+        st.lists(
+            st.sampled_from(pool),
+            min_size=min_points,
+            max_size=max_points,
+        )
+    )
+    probe = draw(
+        st.one_of(st.sampled_from(pool), st.tuples(*[coordinate] * dims))
+    )
+    return dims, points, tuple(probe)
+
+
+def build_stores(dims, points):
+    objects = [
+        StreamObject(i, tuple(point)) for i, point in enumerate(points)
+    ]
+    scalar = CoordStore(dims, refinement="scalar")
+    vector = CoordStore(dims, refinement="vector")
+    for obj in objects:
+        scalar.add(obj)
+        vector.add(obj)
+    return objects, scalar, vector
+
+
+# ----------------------------------------------------------------------
+# Canonical-order agreement (the float-accumulation satellite)
+# ----------------------------------------------------------------------
+
+
+@given(store_cases(), st.floats(min_value=0, max_value=1e13))
+@settings(max_examples=200)
+def test_early_exit_matches_canonical_full_sum(case, sq_range):
+    """within_sq_range may stop mid-accumulation; its decision must
+    equal the full canonical sum's (monotone partial sums)."""
+    dims, points, probe = case
+    for point in points:
+        assert within_sq_range(probe, point, sq_range) == (
+            canonical_sq_dist(probe, point) <= sq_range
+        )
+
+
+@given(store_cases())
+@settings(max_examples=200)
+def test_early_exit_matches_canonical_at_exact_boundary(case):
+    dims, points, probe = case
+    for point in points:
+        boundary = canonical_sq_dist(probe, point)
+        assert within_sq_range(probe, point, boundary) is True
+        assert within_sq_range(point, probe, boundary) is True
+
+
+@given(store_cases())
+@settings(max_examples=200)
+def test_vector_sums_bit_equal_scalar_sums(case):
+    """The vectorized kernel's totals are bit-identical to the scalar
+    canonical sums (same IEEE operation sequence per element)."""
+    dims, points, probe = case
+    objects, scalar, vector = build_stores(dims, points)
+    want = [canonical_sq_dist(obj.coords, probe) for obj in objects]
+    assert scalar.sq_dists_to(probe) == want
+    assert vector.sq_dists_to(probe) == want  # bitwise: == on floats
+
+
+# ----------------------------------------------------------------------
+# Store-level scalar/vector parity
+# ----------------------------------------------------------------------
+
+
+@given(
+    store_cases(),
+    st.floats(min_value=0, max_value=1e13),
+    st.data(),
+)
+@settings(max_examples=150)
+def test_within_radius_parity_with_tombstones(case, sq_range, data):
+    dims, points, probe = case
+    objects, scalar, vector = build_stores(dims, points)
+    removed = data.draw(
+        st.lists(
+            st.sampled_from(objects), unique_by=id, max_size=len(objects)
+        )
+    )
+    for obj in removed:
+        scalar.remove(obj.oid)
+        vector.remove(obj.oid)
+    # Exercise the exact boundary half the time.
+    survivors = [obj for obj in objects if obj not in removed]
+    if survivors and data.draw(st.booleans()):
+        anchor = data.draw(st.sampled_from(survivors))
+        sq_range = canonical_sq_dist(probe, anchor.coords)
+    got_scalar = scalar.within_radius(probe, sq_range)
+    got_vector = vector.within_radius(probe, sq_range)
+    assert [o.oid for o in got_scalar] == [o.oid for o in got_vector]
+    for obj in removed:
+        assert obj not in got_vector
+    # Ground truth from the canonical predicate.
+    want = [
+        obj.oid
+        for obj in survivors
+        if within_sq_range(probe, obj.coords, sq_range)
+    ]
+    assert [o.oid for o in got_vector] == want
+
+
+@given(
+    store_cases(),
+    st.floats(min_value=0, max_value=1e13),
+    st.integers(min_value=-1, max_value=45),
+)
+@settings(max_examples=150)
+def test_refine_parity(case, sq_range, exclude_oid):
+    dims, points, probe = case
+    objects, scalar, vector = build_stores(dims, points)
+    got_scalar = scalar.refine(objects, probe, sq_range, exclude_oid)
+    got_vector = vector.refine(objects, probe, sq_range, exclude_oid)
+    assert [o.oid for o in got_scalar] == [o.oid for o in got_vector]
+    assert all(o.oid != exclude_oid for o in got_vector)
+
+
+@given(store_cases(), st.data())
+@settings(max_examples=100)
+def test_refine_many_parity(case, data):
+    dims, points, _ = case
+    objects, scalar, vector = build_stores(dims, points)
+    probes = data.draw(
+        st.lists(
+            st.tuples(*[coordinate] * dims), min_size=0, max_size=6
+        )
+    )
+    probes = [tuple(p) for p in probes]
+    sq_range = data.draw(st.floats(min_value=0, max_value=1e13))
+    excludes = data.draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=45),
+            min_size=len(probes),
+            max_size=len(probes),
+        )
+    )
+    sb = scalar.batch(objects)
+    vb = vector.batch(objects)
+    got_scalar = scalar.refine_many(sb, probes, sq_range, excludes)
+    got_vector = vector.refine_many(vb, probes, sq_range, excludes)
+    assert [[o.oid for o in row] for row in got_scalar] == [
+        [o.oid for o in row] for row in got_vector
+    ]
+    # Each row must equal the single-probe kernel's answer.
+    for probe, exclude, row in zip(probes, excludes, got_vector):
+        single = vector.refine(objects, probe, sq_range, exclude)
+        assert [o.oid for o in row] == [o.oid for o in single]
+
+
+@given(store_cases(), st.floats(min_value=0, max_value=1e13))
+@settings(max_examples=100)
+def test_pairwise_within_parity(case, sq_range):
+    dims, points, _ = case
+    objects, scalar, vector = build_stores(dims, points)
+    oids = [obj.oid for obj in objects]
+    assert scalar.pairwise_within(oids, sq_range) == vector.pairwise_within(
+        oids, sq_range
+    )
+    # Self-distance is 0: every adjacent duplicate pair must appear.
+    got = set(vector.pairwise_within(oids, sq_range))
+    for i, a in enumerate(objects):
+        for j in range(i + 1, len(objects)):
+            b = objects[j]
+            expected = within_sq_range(a.coords, b.coords, sq_range)
+            assert ((a.oid, b.oid) in got) == expected
+
+
+# ----------------------------------------------------------------------
+# Tombstone bookkeeping
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("refinement", ("scalar", "vector"))
+def test_removed_oid_raises_everywhere(refinement):
+    store = CoordStore(2, refinement=refinement)
+    objs = [StreamObject(i, (float(i), 0.0)) for i in range(3)]
+    for obj in objs:
+        store.add(obj)
+    store.remove(1)
+    assert 1 not in store
+    assert len(store) == 2
+    with pytest.raises(KeyError):
+        store.remove(1)
+    with pytest.raises(KeyError):
+        store.sq_dists_to((0.0, 0.0), oids=[1])
+    with pytest.raises(KeyError):
+        store.pairwise_within([0, 1], 100.0)
+    # Re-adding a removed oid is legal and queryable again.
+    store.add(objs[1])
+    assert [o.oid for o in store.within_radius((1.0, 0.0), 0.0)] == [1]
+
+
+def test_default_refinement_mode_round_trip():
+    """The process-wide default drives resolve_refinement(None) and new
+    stores; setting it returns the previous value for restoration."""
+    assert get_default_refinement() == "auto"
+    assert resolve_refinement(None) == ("vector" if HAVE_NUMPY else "scalar")
+    previous = set_default_refinement("scalar")
+    try:
+        assert previous == "auto"
+        assert resolve_refinement(None) == "scalar"
+        assert CoordStore(2).refinement == "scalar"
+    finally:
+        set_default_refinement(previous)
+    assert get_default_refinement() == "auto"
+    with pytest.raises(ValueError, match="unknown refinement mode"):
+        set_default_refinement("simd")
+    with pytest.raises(ValueError, match="unknown refinement mode"):
+        resolve_refinement("simd")
+
+
+@pytest.mark.parametrize("refinement", ("scalar", "vector"))
+def test_refine_rejects_mismatched_probe(refinement):
+    store = CoordStore(3, refinement=refinement)
+    objs = [StreamObject(i, (float(i), 0.0, 0.0)) for i in range(4)]
+    for obj in objs:
+        store.add(obj)
+    with pytest.raises(ValueError, match="dimensions"):
+        store.refine(objs, (0.0, 0.0), 1.0)
+    with pytest.raises(ValueError, match="dimensions"):
+        store.refine_many(store.batch(objs), [(0.0, 0.0)], 1.0)
+    with pytest.raises(ValueError, match="dimensions"):
+        store.within_radius((0.0, 0.0, 0.0, 0.0), 1.0)
+
+
+@pytest.mark.parametrize("refinement", ("scalar", "vector"))
+def test_compaction_preserves_row_order_and_answers(refinement):
+    store = CoordStore(2, refinement=refinement)
+    objs = [StreamObject(i, (float(i), 0.0)) for i in range(200)]
+    for obj in objs:
+        store.add(obj)
+    for obj in objs[::2]:  # heavy churn forces compaction
+        store.remove(obj.oid)
+    assert len(store) == 100
+    survivors = [o.oid for o in store.objects()]
+    assert survivors == [o.oid for o in objs[1::2]]
+    got = store.within_radius((0.0, 0.0), 400.0)
+    assert [o.oid for o in got] == [i for i in range(1, 21, 2)]
