@@ -1,17 +1,23 @@
 """Index-backend ablation: C-SGS on the Figure-7 workload per backend.
 
 Runs the same scaled-down Figure-7 configuration (STT-like 4-D stream,
-win=2000) once per NeighborProvider backend — grid, kdtree, rtree — and
-reports average per-window response time plus the per-window cluster
-counts, which must be identical across backends (the parity suite checks
-object-level equality; this bench re-checks it at workload scale while
-timing the search layer, the dominant insertion cost per Section 5.3).
+win=2000) once per NeighborProvider backend — grid, kdtree, rtree,
+auto — and reports average per-window response time plus the per-window
+cluster counts, which must be identical across backends (the parity
+suite checks object-level equality; this bench re-checks it at workload
+scale while timing the search layer, the dominant insertion cost per
+Section 5.3). The candidate-set table reports how many candidate rows
+each backend hands to distance refinement per probe.
 
 The refinement section compares the scalar and vectorized
 distance-refinement kernels (``repro.geometry.coordstore``) per backend:
 cluster counts must stay identical, and the perf-smoke test
 (``test_vectorized_refinement_not_slower``, run by CI) fails when the
-vectorized path loses to scalar on the default grid backend.
+vectorized path loses to scalar on the default grid backend. The
+pruning section gates the sphere-pruned, cached grid walk against the
+legacy unpruned full-table walk (``GridIndex(prune=False)``):
+``test_grid_pruning_candidates_and_speed`` (run by CI) fails if pruning
+gathers more candidates or runs slower on the Figure-7 4-D cases.
 """
 
 from __future__ import annotations
@@ -24,36 +30,45 @@ from common import SLIDES, STT_CASES, WIN, batches_over, report, stt_points
 from repro.core.csgs import CSGS
 from repro.eval.harness import Table, fmt_seconds
 from repro.geometry.coordstore import HAVE_NUMPY
-from repro.index import available_backends
+from repro.index import GridIndex, available_backends
 
 MEASURE_WINDOWS = 4
 
 _cache = {}
 
 
+def _measure_csgs(csgs, slide: int):
+    """Run MEASURE_WINDOWS slides; return (avg window time, cluster
+    counts, candidates-per-probe handed to refinement)."""
+    points = stt_points(WIN + MEASURE_WINDOWS * slide, seed=0)
+    window_times = []
+    cluster_counts = []
+    produced = 0
+    for batch in batches_over(points, WIN, slide):
+        start = time.perf_counter()
+        output = csgs.process_batch(batch)
+        window_times.append(time.perf_counter() - start)
+        cluster_counts.append(len(output.clusters))
+        produced += 1
+        if produced >= MEASURE_WINDOWS:
+            break
+    stats = csgs.tracker.provider.stats
+    per_probe = stats["candidates"] / max(1, stats["queries"])
+    return (
+        sum(window_times) / len(window_times),
+        cluster_counts,
+        per_probe,
+    )
+
+
 def _run_backend(backend: str, case, slide: int, refinement: str = "auto"):
     key = (backend, case, slide, refinement)
     if key not in _cache:
         theta_range, theta_count = case
-        points = stt_points(WIN + MEASURE_WINDOWS * slide, seed=0)
         csgs = CSGS(
             theta_range, theta_count, 4, backend=backend, refinement=refinement
         )
-        window_times = []
-        cluster_counts = []
-        produced = 0
-        for batch in batches_over(points, WIN, slide):
-            start = time.perf_counter()
-            output = csgs.process_batch(batch)
-            window_times.append(time.perf_counter() - start)
-            cluster_counts.append(len(output.clusters))
-            produced += 1
-            if produced >= MEASURE_WINDOWS:
-                break
-        _cache[key] = (
-            sum(window_times) / len(window_times),
-            cluster_counts,
-        )
+        _cache[key] = _measure_csgs(csgs, slide)
     return _cache[key]
 
 
@@ -103,6 +118,138 @@ def test_index_backends_report(benchmark):
     )
 
 
+def test_index_backends_candidate_sizes(benchmark):
+    """Report candidate rows handed to refinement per probe, per backend
+    (the quantity the sphere-pruned gathering exists to cut)."""
+    table = Table(
+        "Candidate-set sizes — candidates per probe handed to "
+        "refinement (Figure-7 workload, STT-like 4-D)",
+        ["case (thr,thc)", "slide"] + list(available_backends()),
+    )
+    slide = SLIDES[1]
+    for case in STT_CASES:
+        sizes = {
+            backend: _run_backend(backend, case, slide)[2]
+            for backend in available_backends()
+        }
+        table.add_row(
+            f"({case[0]}, {case[1]})",
+            slide,
+            *[f"{sizes[b]:.1f}" for b in available_backends()],
+        )
+        for backend, size in sizes.items():
+            assert size > 0, f"{backend} reported no candidates"
+    report(table.render())
+    benchmark.pedantic(
+        lambda: _run_backend("grid", STT_CASES[1], SLIDES[1]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sphere-pruned + cached gathering vs the legacy unpruned walk
+# ----------------------------------------------------------------------
+
+
+def _run_grid_variant(case, slide: int, prune: bool, reps: int = 2):
+    """Best-of-N two-phase run on an injected grid provider (fresh each
+    rep: providers are stateful and the cache must start cold).
+
+    Phase 1 is the windowed C-SGS run (the batched ``range_query_many``
+    plan: every base cell's walk is shared within a slide, so the cache
+    adds little there). Phase 2 probes every live object with a single
+    ``range_query`` — the object-at-a-time insertion path, incremental
+    DBSCAN, and post-hoc cluster analyses all issue exactly this shape,
+    and it is where the per-base-cell candidate cache pays: repeated
+    probes from one cell skip the 625-lookup walk entirely.
+    """
+    best = None
+    theta_range, theta_count = case
+    for _ in range(reps):
+        provider = GridIndex(theta_range, 4, prune=prune)
+        csgs = CSGS(theta_range, theta_count, 4, provider=provider)
+        t_windows, counts, _ = _measure_csgs(csgs, slide)
+        alive = csgs.tracker.alive_objects()
+        before = dict(provider.stats)
+        start = time.perf_counter()
+        for obj in alive:
+            provider.range_query(obj.coords, exclude_oid=obj.oid)
+        t_queries = time.perf_counter() - start
+        stats = provider.stats
+        per_probe = (stats["candidates"] - before["candidates"]) / max(
+            1, stats["queries"] - before["queries"]
+        )
+        result = (t_windows, t_queries, counts, per_probe)
+        if best is None or result[0] + result[1] < best[0] + best[1]:
+            best = result
+    return best
+
+
+def test_grid_pruning_candidates_and_speed(benchmark):
+    """Perf + candidate-count smoke (CI): over the Figure-7 4-D cases,
+    the sphere-pruned, cached grid walk must hand refinement no more
+    candidates per probe than the legacy unpruned walk — pruning only
+    ever skips unreachable buckets, so equality is the worst case — and
+    the two-phase run (C-SGS windows + per-object point queries) must
+    not be slower overall (small allowance for shared-runner noise;
+    locally the aggregate is ~2x in pruning's favor, carried by the
+    point-query phase where the candidate cache hits)."""
+    noise_allowance = 1.10
+    slide = SLIDES[1]
+    table = Table(
+        "Grid candidate gathering — sphere-pruned + cached walk vs "
+        "legacy unpruned walk (Figure-7 workload, STT-like 4-D; "
+        "windows = C-SGS slides, queries = per-object point probes)",
+        [
+            "case (thr,thc)",
+            "windows unpr/pruned",
+            "queries unpr/pruned",
+            "total speedup",
+            "cand/probe unpr",
+            "cand/probe pruned",
+            "reduction",
+        ],
+    )
+    total_pruned_time = 0.0
+    total_unpruned_time = 0.0
+    for case in STT_CASES:
+        tw_u, tq_u, counts_unpruned, cand_unpruned = _run_grid_variant(
+            case, slide, prune=False
+        )
+        tw_p, tq_p, counts_pruned, cand_pruned = _run_grid_variant(
+            case, slide, prune=True
+        )
+        assert counts_pruned == counts_unpruned, (
+            f"pruning changed cluster counts on {case}"
+        )
+        assert cand_pruned <= cand_unpruned, (
+            f"pruned walk gathered more candidates on {case}: "
+            f"{cand_pruned:.1f} > {cand_unpruned:.1f}"
+        )
+        table.add_row(
+            f"({case[0]}, {case[1]})",
+            f"{fmt_seconds(tw_u)}/{fmt_seconds(tw_p)}",
+            f"{fmt_seconds(tq_u)}/{fmt_seconds(tq_p)}",
+            f"{(tw_u + tq_u) / (tw_p + tq_p):.2f}x",
+            f"{cand_unpruned:.1f}",
+            f"{cand_pruned:.1f}",
+            f"{1 - cand_pruned / cand_unpruned:.1%}",
+        )
+        total_pruned_time += tw_p + tq_p
+        total_unpruned_time += tw_u + tq_u
+    report(table.render())
+    assert total_pruned_time <= total_unpruned_time * noise_allowance, (
+        f"pruned walk slower than unpruned: "
+        f"{total_pruned_time:.3f}s > {total_unpruned_time:.3f}s"
+    )
+    benchmark.pedantic(
+        lambda: _run_grid_variant(STT_CASES[1], slide, prune=True, reps=1),
+        rounds=1,
+        iterations=1,
+    )
+
+
 # ----------------------------------------------------------------------
 # Refinement ablation: scalar vs vectorized kernels
 # ----------------------------------------------------------------------
@@ -115,7 +262,7 @@ def _best_refinement_time(
     best = None
     for rep in range(reps):
         _cache.pop((backend, case, slide, refinement), None)
-        avg, _ = _run_backend(backend, case, slide, refinement=refinement)
+        avg = _run_backend(backend, case, slide, refinement=refinement)[0]
         best = avg if best is None else min(best, avg)
     return best
 

@@ -100,6 +100,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for c, s in zip(output.clusters, output.summaries)
         )
         print(f"window {output.window_index}: {digest or 'no clusters'}")
+    provider = system.extractor.algorithm.tracker.provider
+    if args.index_backend == "auto":
+        print(
+            f"auto backend: ran on {provider.backend_name} "
+            f"({provider.switches} switches, "
+            f"walk cost {provider.walk_cost})"
+        )
     print(f"archived {system.archived_count} patterns")
     if args.archive:
         written = dump_pattern_base(system.pattern_base, args.archive)
@@ -193,7 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-backend",
         choices=available_backends(),
         default="grid",
-        help="neighbor-search backend for range queries",
+        help="neighbor-search backend for range queries (auto: pick "
+        "grid vs kdtree from dimensionality and observed cell "
+        "occupancy, switching adaptively)",
     )
     run.add_argument(
         "--refine",

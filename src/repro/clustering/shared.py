@@ -29,6 +29,7 @@ from repro.index.grid_index import CellMap
 from repro.index.provider import (
     NeighborProvider,
     batched_neighborhoods,
+    cell_substrate,
     resolve_provider,
 )
 from repro.streams.objects import StreamObject
@@ -60,13 +61,17 @@ class SharedCSGS:
         self.provider = provider
         # Backward-compatible alias: the provider used to always be a grid.
         self.grid = provider
-        # One SGS cell substrate for all members: the provider itself
-        # when cell-backed, otherwise a single coordinator-owned CellMap
-        # (rather than one duplicate per member tracker).
-        if isinstance(provider, CellMap):
-            self.cells: CellMap = provider
+        # One SGS cell substrate for all members: the one the provider
+        # itself maintains when it has one (the grid is a CellMap; the
+        # auto backend keeps an observer CellMap), otherwise a single
+        # coordinator-owned CellMap (rather than one per member).
+        substrate = cell_substrate(provider)
+        if substrate is not None:
+            self.cells: CellMap = substrate
+            self._manage_cells = False
         else:
             self.cells = CellMap(theta_range, dimensions)
+            self._manage_cells = True
         self.members: Dict[int, CSGS] = {
             count: CSGS(
                 theta_range,
@@ -86,7 +91,7 @@ class SharedCSGS:
         for window in range(self.current_window, window_index):
             for obj in self._expiry_buckets.pop(window, ()):
                 self.provider.remove(obj)
-                if self.cells is not self.provider:
+                if self._manage_cells:
                     self.cells.remove(obj)
         self.current_window = window_index
 
@@ -101,7 +106,7 @@ class SharedCSGS:
         new_objects = list(batch.new_objects)
         self.range_queries_run += len(new_objects)
         for obj, _, known in batched_neighborhoods(self.provider, new_objects):
-            if self.cells is not self.provider:
+            if self._manage_cells:
                 self.cells.insert(obj)
             self._expiry_buckets.setdefault(obj.last_window, []).append(obj)
             for member in self.members.values():

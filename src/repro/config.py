@@ -31,11 +31,12 @@ class ContinuousClusteringQuery:
     """A continuous cluster extraction query (Figure 2).
 
     ``index_backend`` selects the neighbor-search backend the query
-    executes against (``grid`` / ``kdtree`` / ``rtree``; see
-    :mod:`repro.index.provider`). ``refinement`` selects the
-    distance-refinement kernel path (``auto`` / ``scalar`` / ``vector``;
-    see :mod:`repro.geometry.coordstore` — ``auto`` vectorizes when
-    NumPy is available).
+    executes against (``grid`` / ``kdtree`` / ``rtree`` / ``auto``; see
+    :mod:`repro.index.provider` — ``auto`` picks grid vs k-d tree from
+    the dimensionality and the observed cell occupancy). ``refinement``
+    selects the distance-refinement kernel path (``auto`` / ``scalar`` /
+    ``vector``; see :mod:`repro.geometry.coordstore` — ``auto``
+    vectorizes when NumPy is available).
     """
 
     theta_range: float

@@ -54,6 +54,7 @@ from repro.index.grid_index import CellMap
 from repro.index.provider import (
     NeighborProvider,
     batched_neighborhoods,
+    cell_substrate,
     resolve_provider,
 )
 from repro.streams.objects import StreamObject
@@ -195,19 +196,24 @@ class NeighborhoodTracker:
         # Backward-compatible alias: the provider used to always be a grid.
         self.grid = provider
         # The SGS cell substrate: an externally shared CellMap (its
-        # owner maintains it), the provider itself when cell-backed, or
-        # a bare CellMap this tracker maintains. Consumers that never
+        # owner maintains it), one the provider itself maintains (the
+        # grid *is* a CellMap; the auto backend keeps an observer one),
+        # or a bare CellMap this tracker maintains. Consumers that never
         # read per-cell contents (Extra-N) pass ``maintain_cells=False``
         # to skip the bookkeeping; cell *coordinates* stay available.
+        substrate = cell_substrate(provider)
         if cells is not None:
             self.cells: CellMap = cells
             self._manage_cells = False
-        elif isinstance(provider, CellMap):
-            self.cells = provider
+        elif substrate is not None:
+            self.cells = substrate
             self._manage_cells = False
         else:
             self.cells = CellMap(theta_range, dimensions)
             self._manage_cells = maintain_cells
+        # Whether ``provider.insert`` returns coordinates of the very
+        # substrate this tracker reads (grid and auto backends do).
+        self._cell_backed = self.cells is substrate
         self.manage_grid = manage_grid
         self.states: Dict[int, ObjectState] = {}
         self.current_window = 0
@@ -269,8 +275,8 @@ class NeighborhoodTracker:
                     "a tracker on a shared provider needs neighbors injected"
                 )
             placed = self.provider.insert(obj)
-            if self.cells is self.provider:
-                cell = placed  # CellMap.insert returns the cell coord
+            if self._cell_backed:
+                cell = placed  # the provider returns the cell coord
             neighbor_objs = self.provider.range_query(
                 obj.coords, exclude_oid=obj.oid
             )
@@ -297,7 +303,7 @@ class NeighborhoodTracker:
                     f"object {obj.oid} is already expired at window "
                     f"{self.current_window}"
                 )
-        cell_backed = self.cells is self.provider
+        cell_backed = self._cell_backed
         for obj, placed, known in batched_neighborhoods(
             self.provider, objects
         ):

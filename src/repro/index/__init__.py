@@ -7,19 +7,29 @@ clustering consumer is written against, with ``grid`` / ``kdtree`` /
 """
 
 from repro.index.feature_grid import FeatureGridIndex
-from repro.index.grid_index import CellMap, GridIndex, cell_side_for_range
+from repro.index.grid_index import (
+    CellMap,
+    GridIndex,
+    cell_side_for_range,
+    full_offset_table,
+    min_cell_gap_sq,
+    sphere_pruned_offsets,
+)
 from repro.index.kdtree import KDTree
 from repro.index.provider import (
     BACKENDS,
+    AutoProvider,
     KDTreeProvider,
     NeighborProvider,
     RTreeProvider,
     available_backends,
+    cell_substrate,
     make_provider,
 )
 from repro.index.rtree import RTree
 
 __all__ = [
+    "AutoProvider",
     "BACKENDS",
     "CellMap",
     "FeatureGridIndex",
@@ -31,5 +41,9 @@ __all__ = [
     "RTreeProvider",
     "available_backends",
     "cell_side_for_range",
+    "cell_substrate",
+    "full_offset_table",
     "make_provider",
+    "min_cell_gap_sq",
+    "sphere_pruned_offsets",
 ]

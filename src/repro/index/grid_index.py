@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from operator import add
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.coordstore import CoordStore
 from repro.streams.objects import StreamObject
@@ -38,6 +38,87 @@ def cell_side_for_range(theta_range: float, dimensions: int) -> float:
     if dimensions <= 0:
         raise ValueError("dimensions must be positive")
     return theta_range / math.sqrt(dimensions)
+
+
+# ----------------------------------------------------------------------
+# Neighbor-cell offset tables (module-level, shared across instances)
+# ----------------------------------------------------------------------
+
+#: Relative slack of the sphere-pruning predicate. Pruning must be
+#: conservative: a cell whose true minimum gap to the base cell equals
+#: θr exactly can host a boundary-inclusive neighbor pair, and the gap
+#: arithmetic here differs from the canonical refinement summation by a
+#: few ulps. The slack only ever *admits* extra cells (refinement
+#: discards them), never drops one.
+OFFSET_PRUNE_EPS = 1e-9
+
+_FULL_OFFSETS: Dict[Tuple[int, int], Tuple[Coord, ...]] = {}
+_PRUNED_OFFSETS: Dict[Tuple[int, int, float], Tuple[Coord, ...]] = {}
+
+
+def min_cell_gap_sq(offset: Sequence[int], side: float) -> float:
+    """Minimum squared distance between two grid cells ``offset`` apart.
+
+    Cells are closed axis-aligned cubes of the given ``side``; the
+    minimum is attained corner-to-corner, ``(|delta| - 1) * side`` per
+    dimension with a nonzero delta (0.0 for touching/overlapping cells).
+    """
+    sq = 0.0
+    for delta in offset:
+        if delta:
+            gap = (abs(delta) - 1) * side
+            sq += gap * gap
+    return sq
+
+
+def full_offset_table(dimensions: int, reach: int) -> Tuple[Coord, ...]:
+    """The unpruned ``(2*reach + 1)^d`` relative-cell offset cube.
+
+    Memoized per ``(dimensions, reach)`` and shared across instances;
+    offsets are in lexicographic order (first dimension slowest).
+    """
+    key = (dimensions, reach)
+    table = _FULL_OFFSETS.get(key)
+    if table is None:
+        span = range(-reach, reach + 1)
+        offsets: List[Coord] = [()]
+        for _ in range(dimensions):
+            offsets = [
+                prefix + (delta,) for prefix in offsets for delta in span
+            ]
+        table = _FULL_OFFSETS[key] = tuple(offsets)
+    return table
+
+
+def sphere_pruned_offsets(
+    dimensions: int, reach: int, side_over_range: float
+) -> Tuple[Coord, ...]:
+    """The offsets a θr range query must visit, sphere-pruned.
+
+    Drops every offset of the full cube whose minimum cell-to-cell gap
+    exceeds θr — those cells cannot intersect the θr-ball of *any* query
+    point in the base cell. The predicate is evaluated in units of θr
+    (``side_over_range`` is ``cell_side / θr``), so the table depends
+    only on ``(dimensions, reach, side/θr)`` and is memoized per that
+    key at module level, shared by every :class:`GridIndex` instance
+    (and by the ``auto`` backend's heuristic).
+
+    With the paper's diagonal sizing (side = θr/√d, reach = ⌈√d⌉) the
+    corner gap equals θr exactly for d <= 4 — nothing is prunable — but
+    from 5-D on most of the cube goes (e.g. 6095 of 16807 cells remain
+    at d=5), and non-diagonal sizings prune at any dimensionality.
+    """
+    key = (dimensions, reach, side_over_range)
+    table = _PRUNED_OFFSETS.get(key)
+    if table is None:
+        limit = 1.0 + OFFSET_PRUNE_EPS
+        table = tuple(
+            offset
+            for offset in full_offset_table(dimensions, reach)
+            if min_cell_gap_sq(offset, side_over_range) <= limit
+        )
+        _PRUNED_OFFSETS[key] = table
+    return table
 
 
 class CellMap:
@@ -115,6 +196,11 @@ class CellMap:
     def occupied_cells(self) -> Iterator[Coord]:
         return iter(self._cells.keys())
 
+    def occupied_count(self) -> int:
+        """Number of non-empty cells (the ``auto`` backend's occupancy
+        signal reads mean population through this)."""
+        return len(self._cells)
+
     def cell_population(self, coord: Coord) -> int:
         return len(self._cells.get(coord, ()))
 
@@ -141,6 +227,14 @@ class GridIndex(CellMap):
     :class:`~repro.geometry.coordstore.CoordStore`: the whole candidate
     set of a query (union of reachable buckets) is refined in one
     batched kernel call instead of a per-point coordinate loop.
+
+    Candidate gathering is sphere-pruned and cached: the offset table is
+    the module-level memoized :func:`sphere_pruned_offsets`, the
+    occupied reachable buckets of each base cell are cached across
+    queries (invalidated by bucket creation and bucket-emptying purges),
+    and per query the cached buckets are screened against the probe (or
+    probe-box) θr-ball before refinement. ``prune=False`` restores the
+    uncached full-table walk for A/B measurement.
     """
 
     def __init__(
@@ -148,67 +242,219 @@ class GridIndex(CellMap):
         theta_range: float,
         dimensions: int,
         refinement: Optional[str] = None,
+        prune: bool = True,
     ):
         super().__init__(theta_range, dimensions)
         # Neighbors of a point can lie at most ceil(sqrt(d)) cells away
         # in each dimension because theta_range == side * sqrt(d).
         self.reach = int(math.ceil(math.sqrt(self.dimensions)))
         self._sq_range = self.theta_range * self.theta_range
-        self._offsets = self._build_offsets()
+        self.prune = bool(prune)
+        if self.prune:
+            self._offsets = sphere_pruned_offsets(
+                self.dimensions, self.reach, self.side / self.theta_range
+            )
+        else:
+            self._offsets = full_offset_table(self.dimensions, self.reach)
         self._store = CoordStore(dimensions, refinement=refinement)
         self.refinement = self._store.refinement
+        # Per-base-cell cache of the reachable *buckets* as (offset,
+        # bucket list) pairs — offsets alias the shared table tuples.
+        # Buckets are aliased, not copied: in-place bucket mutations
+        # (insert into an existing cell, remove leaving the cell
+        # occupied, purge of part of a cell) are visible through the
+        # cache for free. Only bucket *creation* (insert into an empty
+        # cell) and a purge that empties a bucket — which unlinks it
+        # without clearing, leaving the alias stale — change what a walk
+        # would find, so only those events invalidate (every cached base
+        # within reach of the affected cell is dropped).
+        self._reachable_cache: Dict[
+            Coord, List[Tuple[Coord, List[StreamObject]]]
+        ] = {}
+        # Invalidations are deferred and applied in one pass before the
+        # next cached read: window slides create buckets in bursts, and
+        # a burst is far cheaper to settle wholesale (often: clear)
+        # than one neighborhood at a time.
+        self._pending_invalidations: Set[Coord] = set()
+        # Per-probe bucket pruning slack mirrors the offset-table slack.
+        self._sq_prune_limit = self._sq_range * (1.0 + OFFSET_PRUNE_EPS)
+        #: Gathering telemetry: probes answered, candidates handed to
+        #: refinement (per probe), cold walks, and cache hits.
+        self.stats = {
+            "queries": 0,
+            "candidates": 0,
+            "walks": 0,
+            "cache_hits": 0,
+        }
 
     def insert(self, obj: StreamObject) -> Coord:
         # Store first: it validates (duplicate oid, dimensionality) and
         # raises before the cell bucket is touched, keeping both
         # structures consistent on failure.
         self._store.add(obj)
-        return super().insert(obj)
+        coord = super().insert(obj)
+        # A bucket born in a previously empty cell is invisible to the
+        # cached walks that span the cell; drop them so they re-walk.
+        if len(self._cells[coord]) == 1:
+            self._invalidate_reachable(coord)
+        return coord
 
     def remove(self, obj: StreamObject) -> None:
         super().remove(obj)  # raises before the store is touched
         self._store.remove(obj.oid)
+        # No cache invalidation: a removal empties the bucket *in
+        # place* (cached aliases correctly read nothing), and a later
+        # re-occupation of the cell invalidates at insert time.
 
     def _purged(self, objects: List[StreamObject]) -> None:
+        affected: Set[Coord] = set()
         for obj in objects:
             self._store.remove(obj.oid)
+            affected.add(self.cell_coord(obj.coords))
+        # A purge that empties a bucket unlinks it from the cell map
+        # without clearing the list, so cached walks that alias it would
+        # keep reporting the expired objects: drop every neighboring
+        # base cell's cached candidate walk. Partially purged buckets
+        # are rewritten in place and stay transparently visible.
+        for coord in affected:
+            if coord not in self._cells:
+                self._invalidate_reachable(coord)
 
-    def _build_offsets(self) -> List[Coord]:
-        """Precompute the relative cell offsets a range query must visit.
+    def _invalidate_reachable(self, coord: Coord) -> None:
+        """Mark every cached walk that spans ``coord`` stale (lazily)."""
+        if self._reachable_cache or self._pending_invalidations:
+            self._pending_invalidations.add(coord)
 
-        Offsets whose closest corner is farther than θr from the query
-        cell are pruned, which eliminates most of the
-        ``(2*reach + 1)^d`` candidates in higher dimensions.
+    def _flush_invalidations(self) -> None:
+        """Apply deferred invalidations before serving from the cache.
+
+        Spanning bases of an affected cell are exactly ``cell + offset``
+        for the (point-symmetric) offset table. A handful of events is
+        settled per-neighborhood; a burst (a window slide creating many
+        buckets at once) is settled by clearing — per-event probing
+        would cost more than re-walking the survivors ever saves.
         """
-        offsets: List[Coord] = []
-        span = range(-self.reach, self.reach + 1)
-
-        def expand(prefix: Tuple[int, ...]) -> None:
-            if len(prefix) == self.dimensions:
-                # Minimal possible distance between a point in the query
-                # cell and a point in the offset cell, per dimension:
-                # (|delta| - 1) * side when |delta| > 0.
-                sq_min = 0.0
-                for delta in prefix:
-                    if delta != 0:
-                        gap = (abs(delta) - 1) * self.side
-                        sq_min += gap * gap
-                if sq_min <= self._sq_range + 1e-12:
-                    offsets.append(prefix)
+        pending = self._pending_invalidations
+        if not pending:
+            return
+        cache = self._reachable_cache
+        self._pending_invalidations = set()
+        if not cache:
+            return
+        offsets = self._offsets
+        if len(pending) * len(offsets) >= len(cache) * self.dimensions:
+            cache.clear()
+            return
+        pop = cache.pop
+        for coord in pending:
+            for offset in offsets:
+                pop(tuple(map(add, coord, offset)), None)
+            if not cache:
                 return
-            for delta in span:
-                expand(prefix + (delta,))
 
-        expand(())
-        return offsets
+    def _reachable_buckets(
+        self, base: Coord
+    ) -> List[Tuple[Coord, List[StreamObject]]]:
+        """The occupied cells a query from ``base`` can reach, as
+        ``(offset, bucket)`` pairs (cached).
 
-    def _gather_candidates(self, base: Coord) -> List[StreamObject]:
-        """Union of the buckets reachable from a query's base cell."""
+        The cold walk probes every offset of the (sphere-pruned) table —
+        ``(2*reach+1)^d`` dict lookups before pruning, the dominant
+        insertion cost in 4-D; repeated queries from the same base cell
+        (the C-SGS common case) skip the walk entirely until an
+        invalidating event lands in reach.
+        """
+        self._flush_invalidations()
+        entry = self._reachable_cache.get(base)
+        if entry is not None:
+            self.stats["cache_hits"] += 1
+            return entry
+        self.stats["walks"] += 1
+        entry = []
+        cells = self._cells
+        for offset in self._offsets:
+            bucket = cells.get(tuple(map(add, base, offset)))
+            if bucket is not None:
+                entry.append((offset, bucket))
+        self._reachable_cache[base] = entry
+        return entry
+
+    def _gather_candidates(
+        self,
+        base: Coord,
+        lo: Sequence[float],
+        hi: Sequence[float],
+    ) -> List[StreamObject]:
+        """Candidates for probes bounded by the box ``[lo, hi]``.
+
+        Buckets whose minimum distance to the probe box exceeds θr are
+        skipped (``lo == hi`` for a single probe makes this an exact
+        point-to-cell sphere test) — a per-query tightening of the
+        offset-table pruning that cuts the candidate sets refinement
+        sees even where the table itself is not prunable (d <= 4). The
+        per-axis gap² of every offset step is precomputed once per call
+        (``d * (2*reach+1)`` values), so screening a bucket costs d
+        table lookups. Skipping never changes results: every true
+        neighbor lies in a bucket that passes, and survivors keep their
+        walk order, so the refined output is byte-identical to the
+        unpruned walk.
+        """
+        if not self.prune:
+            return self._gather_unpruned(base)
+        entry = self._reachable_buckets(base)
+        if not entry:
+            return []
+        side = self.side
+        reach = self.reach
+        limit = self._sq_prune_limit
+        # gap_sq[axis][delta + reach]: squared gap between the probe box
+        # and the slab of cells ``delta`` steps from base on ``axis``.
+        gap_sq = []
+        for axis in range(self.dimensions):
+            lo_a = lo[axis]
+            hi_a = hi[axis]
+            base_a = base[axis]
+            row = []
+            for delta in range(-reach, reach + 1):
+                cell_lo = (base_a + delta) * side
+                gap = cell_lo - hi_a  # probe box below the slab
+                if gap <= 0.0:
+                    gap = lo_a - (cell_lo + side)  # box above the slab
+                    if gap <= 0.0:
+                        gap = 0.0
+                row.append(gap * gap)
+            gap_sq.append(row)
+        candidates: List[StreamObject] = []
+        # When even the farthest slab combination stays within θr of the
+        # probe box (always true for a box spanning the whole cell in
+        # d <= 4 under diagonal sizing), screening cannot skip anything:
+        # take the plain union and save the per-bucket arithmetic.
+        worst = 0.0
+        for row in gap_sq:
+            worst += max(row)
+        if worst <= limit:
+            for _, bucket in entry:
+                if bucket:
+                    candidates.extend(bucket)
+            return candidates
+        for offset, bucket in entry:
+            if not bucket:
+                continue
+            sq = 0.0
+            for axis, delta in enumerate(offset):
+                sq += gap_sq[axis][delta + reach]
+            if sq <= limit:
+                candidates.extend(bucket)
+        return candidates
+
+    def _gather_unpruned(self, base: Coord) -> List[StreamObject]:
+        """Legacy gather: fresh full-table walk, no cache, no pruning.
+
+        Kept as the ``prune=False`` escape hatch and the baseline the
+        candidate-count/perf smoke benchmarks compare against.
+        """
         candidates: List[StreamObject] = []
         cells = self._cells
-        # map(add, ...) keeps the per-offset coordinate arithmetic at the
-        # C level; this loop runs (2*reach+1)^d times per distinct base
-        # cell and dominates candidate gathering in higher dimensions.
         for offset in self._offsets:
             bucket = cells.get(tuple(map(add, base, offset)))
             if bucket:
@@ -227,8 +473,11 @@ class GridIndex(CellMap):
         pins the agreement across backends and refinement modes).
         """
         base = self.cell_coord(coords)
+        candidates = self._gather_candidates(base, coords, coords)
+        self.stats["queries"] += 1
+        self.stats["candidates"] += len(candidates)
         return self._store.refine(
-            self._gather_candidates(base), coords, self._sq_range, exclude_oid
+            candidates, coords, self._sq_range, exclude_oid
         )
 
     def range_query_many(
@@ -236,12 +485,13 @@ class GridIndex(CellMap):
     ) -> List[List[StreamObject]]:
         """Batched range queries: ``[(coords, exclude_oid), ...]``.
 
-        The candidate set (union of reachable buckets) depends only on
-        the query's base cell, so queries are grouped by *distinct* base
-        cell: candidates are gathered (and their store rows resolved)
-        once per cell, and all of the cell's probes are refined in a
-        single batched kernel sweep — on clustered window batches the
-        C-SGS per-slide batch becomes one array pass per occupied cell.
+        The reachable buckets depend only on the query's base cell, so
+        queries are grouped by *distinct* base cell: candidates are
+        gathered (and their store rows resolved) once per cell — pruned
+        against the bounding box of the cell's probes — and all of the
+        cell's probes are refined in a single batched kernel sweep; on
+        clustered window batches the C-SGS per-slide batch becomes one
+        array pass per occupied cell.
         """
         if not queries:
             return []
@@ -251,11 +501,21 @@ class GridIndex(CellMap):
             query_indices_by_base.setdefault(base, []).append(qi)
         results: List[List[StreamObject]] = [[] for _ in queries]
         sq_range = self._sq_range
+        dims = range(self.dimensions)
         for base, indices in query_indices_by_base.items():
-            batch = self._store.batch(self._gather_candidates(base))
+            probes = [queries[qi][0] for qi in indices]
+            if len(probes) == 1:
+                lo = hi = probes[0]
+            else:
+                lo = tuple(min(p[axis] for p in probes) for axis in dims)
+                hi = tuple(max(p[axis] for p in probes) for axis in dims)
+            candidates = self._gather_candidates(base, lo, hi)
+            self.stats["queries"] += len(indices)
+            self.stats["candidates"] += len(candidates) * len(indices)
+            batch = self._store.batch(candidates)
             refined = self._store.refine_many(
                 batch,
-                [queries[qi][0] for qi in indices],
+                probes,
                 sq_range,
                 [queries[qi][1] for qi in indices],
             )

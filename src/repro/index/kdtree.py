@@ -77,6 +77,9 @@ class KDTree:
             # the kernel call; scalar leaves favour tighter pruning.
             leaf_size = 64 if self.refinement == "vector" else 16
         self.leaf_size = leaf_size
+        #: Cumulative leaf rows handed to range-query refinement — the
+        #: tree's share of the backend candidate-set telemetry.
+        self.candidates_scanned = 0
         self._root: _Node = (
             self._build(list(objects), 0) if objects else None
         )
@@ -117,6 +120,7 @@ class KDTree:
         while stack:
             node = stack.pop()
             if type(node) is _Leaf:
+                self.candidates_scanned += node.stop - node.start
                 result.extend(
                     self._store.refine_span(
                         node.start, node.stop, coords, sq_radius, exclude_oid

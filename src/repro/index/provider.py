@@ -10,15 +10,19 @@ protocol rather than a concrete index, and backends are selected by name
 through :func:`make_provider` (``config.py`` and the CLI expose the same
 names).
 
-Three backends conform today:
+Four backends conform today:
 
 * ``grid`` — :class:`~repro.index.grid_index.GridIndex`, the paper's
-  θr-diagonal uniform grid (default; also the SGS cell substrate);
+  θr-diagonal uniform grid (default; also the SGS cell substrate), with
+  sphere-pruned, cached candidate gathering;
 * ``kdtree`` — :class:`KDTreeProvider`, a dynamic wrapper that keeps a
   balanced static :class:`~repro.index.kdtree.KDTree` over committed
   objects plus a small insertion buffer, rebuilding amortized;
 * ``rtree`` — :class:`RTreeProvider`, point entries in the Guttman
-  :class:`~repro.index.rtree.RTree` with exact distance refinement.
+  :class:`~repro.index.rtree.RTree` with exact distance refinement;
+* ``auto`` — :class:`AutoProvider`, which picks grid vs k-d tree from
+  the dimensionality (size of the pruned offset table) and the observed
+  cell occupancy, switching adaptively as the stream evolves.
 
 All backends answer the *same* fixed-radius (θr) queries and are
 checked object-for-object identical by the parity test suite.
@@ -26,6 +30,7 @@ checked object-for-object identical by the parity test suite.
 
 from __future__ import annotations
 
+import math
 from typing import (
     Dict,
     Iterator,
@@ -43,7 +48,11 @@ from repro.geometry.coordstore import (
     within_sq_range,
 )
 from repro.geometry.mbr import MBR
-from repro.index.grid_index import GridIndex
+from repro.index.grid_index import (
+    CellMap,
+    GridIndex,
+    sphere_pruned_offsets,
+)
 from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
 from repro.streams.objects import StreamObject
@@ -143,6 +152,9 @@ class KDTreeProvider(_FallbackBatchMixin):
         self._buffer = CoordStore(self.dimensions, refinement=self.refinement)
         self._stale = 0  # removed objects still present in _tree
         self.rebuilds = 0
+        #: Gathering telemetry (candidate-set bench): probes answered
+        #: and candidate rows scanned (tree leaves + insertion buffer).
+        self.stats = {"queries": 0, "candidates": 0}
 
     def insert(self, obj: StreamObject) -> None:
         # Buffer first: it validates (duplicate oid, dimensionality) and
@@ -204,7 +216,9 @@ class KDTreeProvider(_FallbackBatchMixin):
         self, coords: Sequence[float], exclude_oid: int = -1
     ) -> List[StreamObject]:
         result: List[StreamObject] = []
+        scanned = len(self._buffer)
         if self._tree is not None:
+            scanned -= self._tree.candidates_scanned
             for obj in self._tree.range_query(
                 coords, self.theta_range, exclude_oid=exclude_oid
             ):
@@ -216,10 +230,13 @@ class KDTreeProvider(_FallbackBatchMixin):
                     continue
                 if self._objects.get(obj.oid) is obj:
                     result.append(obj)
+            scanned += self._tree.candidates_scanned
         sq_range = self.theta_range * self.theta_range
         result.extend(
             self._buffer.within_radius(coords, sq_range, exclude_oid)
         )
+        self.stats["queries"] += 1
+        self.stats["candidates"] += scanned
         return result
 
     def range_query_many(
@@ -269,6 +286,9 @@ class RTreeProvider(_FallbackBatchMixin):
         # one store kernel call per query.
         self._store = CoordStore(self.dimensions, refinement=refinement)
         self.refinement = self._store.refinement
+        #: Gathering telemetry (candidate-set bench): probes answered
+        #: and leaf entries the ball-box search handed to refinement.
+        self.stats = {"queries": 0, "candidates": 0}
 
     def insert(self, obj: StreamObject) -> None:
         # Store first: it validates (duplicate oid, dimensionality) and
@@ -303,8 +323,11 @@ class RTreeProvider(_FallbackBatchMixin):
             tuple(value - radius for value in coords),
             tuple(value + radius for value in coords),
         )
+        candidates = self._tree.search(ball)
+        self.stats["queries"] += 1
+        self.stats["candidates"] += len(candidates)
         return self._store.refine(
-            self._tree.search(ball), coords, radius * radius, exclude_oid
+            candidates, coords, radius * radius, exclude_oid
         )
 
     def __len__(self) -> int:
@@ -314,9 +337,186 @@ class RTreeProvider(_FallbackBatchMixin):
         return iter([obj for _, obj in self._entries.values()])
 
 
+class AutoProvider:
+    """Adaptive backend selection: grid vs k-d tree, by observed shape.
+
+    The grid wins when its neighbor-cell walk is cheap (low
+    dimensionality keeps the sphere-pruned offset table small) or when
+    cells are densely occupied (one walk gathers many candidates that
+    refine in one kernel sweep); the k-d tree wins on sparse
+    high-dimensional data — on the 4-D STT workload it beats the grid
+    outright. ``auto`` encodes exactly that rule:
+
+    * at construction, if the memoized
+      :func:`~repro.index.grid_index.sphere_pruned_offsets` table has at
+      most ``walk_budget`` entries the grid is chosen for good (its walk
+      is cheap at any occupancy); otherwise the k-d tree starts;
+    * while running, a :class:`~repro.index.grid_index.CellMap` observes
+      mean occupancy of the occupied θr-cells; every ``check_interval``
+      mutations the choice is revisited with a hysteresis band
+      (``>= dense_occupancy`` switches to the grid,
+      ``< sparse_occupancy`` back to the k-d tree) and a switch rebuilds
+      the new backend from the live objects.
+
+    The observer CellMap doubles as the SGS cell substrate: consumers
+    discover it through :func:`cell_substrate`, so C-SGS on ``auto``
+    keeps exactly one cell bookkeeping structure, as with the plain
+    grid backend. All backends are answer-identical (the parity and
+    golden suites pin it), so a switch is a pure performance decision.
+    """
+
+    def __init__(
+        self,
+        theta_range: float,
+        dimensions: int,
+        refinement: Optional[str] = None,
+        walk_budget: int = 200,
+        check_interval: int = 256,
+        sparse_occupancy: float = 2.0,
+        dense_occupancy: float = 4.0,
+    ):
+        if theta_range <= 0:
+            raise ValueError("theta_range must be positive")
+        if dimensions < 1:
+            raise ValueError("dimensions must be positive")
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        if not 0 < sparse_occupancy <= dense_occupancy:
+            raise ValueError(
+                "need 0 < sparse_occupancy <= dense_occupancy"
+            )
+        self.theta_range = float(theta_range)
+        self.dimensions = int(dimensions)
+        self.refinement = resolve_refinement(refinement)
+        #: Occupancy observer and SGS cell substrate (maintained here).
+        self.cells = CellMap(theta_range, dimensions)
+        reach = int(math.ceil(math.sqrt(self.dimensions)))
+        self.walk_cost = len(
+            sphere_pruned_offsets(
+                self.dimensions, reach, self.cells.side / self.theta_range
+            )
+        )
+        self._walk_budget = int(walk_budget)
+        self._check_interval = int(check_interval)
+        self._sparse_occupancy = float(sparse_occupancy)
+        self._dense_occupancy = float(dense_occupancy)
+        self.backend_name = (
+            "grid" if self.walk_cost <= self._walk_budget else "kdtree"
+        )
+        self._inner = self._make(self.backend_name)
+        self.switches = 0
+        self._mutations = 0
+        self._carried_stats: Dict[str, int] = {}
+
+    def _make(self, name: str):
+        if name == "grid":
+            return GridIndex(
+                self.theta_range, self.dimensions, refinement=self.refinement
+            )
+        return KDTreeProvider(
+            self.theta_range, self.dimensions, refinement=self.refinement
+        )
+
+    def _switch(self, name: str) -> None:
+        old = self._inner
+        for key, value in old.stats.items():
+            self._carried_stats[key] = self._carried_stats.get(key, 0) + value
+        replacement = self._make(name)
+        for obj in old:
+            replacement.insert(obj)
+        self._inner = replacement
+        self.backend_name = name
+        self.switches += 1
+
+    def _note_mutations(self, count: int = 1) -> None:
+        self._mutations += count
+        if self._mutations >= self._check_interval:
+            self._mutations = 0
+            self._evaluate()
+
+    def _evaluate(self) -> None:
+        if self.walk_cost <= self._walk_budget:
+            return  # the walk is cheap at any occupancy: the grid stays
+        occupied = self.cells.occupied_count()
+        if not occupied:
+            return
+        occupancy = len(self._inner) / occupied
+        if (
+            self.backend_name == "kdtree"
+            and occupancy >= self._dense_occupancy
+        ):
+            self._switch("grid")
+        elif (
+            self.backend_name == "grid"
+            and occupancy < self._sparse_occupancy
+        ):
+            self._switch("kdtree")
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Gathering telemetry, aggregated across backend switches."""
+        merged = dict(self._carried_stats)
+        for key, value in self._inner.stats.items():
+            merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def insert(self, obj: StreamObject):
+        # The inner backend validates (duplicate oid, dimensionality)
+        # and raises before the observer CellMap is touched.
+        self._inner.insert(obj)
+        coord = self.cells.insert(obj)
+        self._note_mutations()
+        return coord
+
+    def remove(self, obj: StreamObject) -> None:
+        self._inner.remove(obj)  # raises before the observer is touched
+        self.cells.remove(obj)
+        self._note_mutations()
+
+    def purge_expired(self, window_index: int) -> int:
+        purged = self._inner.purge_expired(window_index)
+        self.cells.purge_expired(window_index)
+        if purged:
+            self._note_mutations(purged)
+        return purged
+
+    def range_query(
+        self, coords: Sequence[float], exclude_oid: int = -1
+    ) -> List[StreamObject]:
+        return self._inner.range_query(coords, exclude_oid=exclude_oid)
+
+    def range_query_many(
+        self, queries: Sequence[Query]
+    ) -> List[List[StreamObject]]:
+        return self._inner.range_query_many(queries)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        return iter(self._inner)
+
+
+def cell_substrate(provider) -> Optional[CellMap]:
+    """The :class:`CellMap` a provider itself maintains, if any.
+
+    The grid backend *is* its cell map; the ``auto`` backend maintains
+    an observer CellMap alongside whichever search backend is active.
+    Consumers that need the SGS cell substrate (the tracker, shared
+    execution) use this to avoid double bookkeeping; ``None`` means the
+    backend is search-only (k-d tree, R-tree) and the consumer keeps its
+    own CellMap.
+    """
+    if isinstance(provider, CellMap):
+        return provider
+    cells = getattr(provider, "cells", None)
+    return cells if isinstance(cells, CellMap) else None
+
+
 #: Registry of selectable backends; config.py and the CLI validate
 #: against these names.
 BACKENDS = {
+    "auto": AutoProvider,
     "grid": GridIndex,
     "kdtree": KDTreeProvider,
     "rtree": RTreeProvider,

@@ -73,10 +73,12 @@ class StreamPatternMiningSystem:
         Consumes every field of the query — θr, θc, dimensions, window
         spec, ``index_backend``, and ``refinement`` — so the
         neighbor-search backend and kernel path declared on the query
-        are what the pipeline actually runs on. Remaining keyword
-        arguments (metric, archive policy, …) pass through to the
-        constructor; explicit non-None ``index_backend`` / ``refinement``
-        keywords override the query's.
+        are what the pipeline actually runs on (``index_backend="auto"``
+        yields the adaptive grid/kdtree provider; the choice it makes is
+        observable via ``system.extractor.algorithm.tracker.provider``).
+        Remaining keyword arguments (metric, archive policy, …) pass
+        through to the constructor; explicit non-None ``index_backend``
+        / ``refinement`` keywords override the query's.
         """
         if kwargs.get("index_backend") is None:
             kwargs["index_backend"] = query.index_backend

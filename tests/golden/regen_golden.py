@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Regenerate the golden C-SGS fixture from the canonical run.
+"""Regenerate the golden C-SGS fixtures from their canonical runs.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python tests/golden/regen_golden.py
 
-Only rerun this after an *intentional* change to C-SGS output; the diff
-of ``csgs_stt_small.json`` is part of the review surface for any such
-change.
+Only rerun this after an *intentional* change to C-SGS output; the
+diffs of the fixture files are part of the review surface for any such
+change. Each case regenerates through its canonical backend (the
+``stt_auto`` case runs the adaptive ``auto`` provider) with scalar
+refinement; the test suite then requires every backend × refinement
+mode to reproduce the bytes.
 """
 
 import sys
@@ -19,14 +22,18 @@ from tests.golden import workload  # noqa: E402
 
 
 def main() -> int:
-    trace = workload.run_trace(backend="grid", refinement="scalar")
-    text = workload.render(trace)
-    workload.GOLDEN_PATH.write_text(text)
-    clusters = sum(len(entry["clusters"]) for entry in trace)
-    print(
-        f"wrote {workload.GOLDEN_PATH} "
-        f"({len(text)} bytes, {len(trace)} windows, {clusters} clusters)"
-    )
+    for case in workload.CASES.values():
+        trace = workload.run_trace(
+            case.canonical_backend, "scalar", case=case
+        )
+        text = workload.render(trace)
+        case.path.write_text(text)
+        clusters = sum(len(entry["clusters"]) for entry in trace)
+        print(
+            f"wrote {case.path} via {case.canonical_backend} "
+            f"({len(text)} bytes, {len(trace)} windows, "
+            f"{clusters} clusters)"
+        )
     return 0
 
 

@@ -1,61 +1,110 @@
-"""The golden C-SGS workload: one seeded Figure-7-style run, serialized.
+"""The golden C-SGS workloads: seeded Figure-7-style runs, serialized.
 
-The golden fixture pins the *complete* window-by-window C-SGS output —
+Each golden fixture pins the *complete* window-by-window C-SGS output —
 cluster memberships and SGS summaries — for a small seeded STT-like 4-D
-stream (the paper's Figure-7 configuration, scaled down). Every
-neighbor-search backend × refinement mode must reproduce the serialized
+stream (the paper's Figure-7 configurations, scaled down). Every
+neighbor-search backend × refinement mode must reproduce each serialized
 file byte-for-byte; any change to the refinement kernels, the provider
-seam, or the C-SGS pipeline that alters output in any way trips it.
+seam, candidate gathering, or the C-SGS pipeline that alters output in
+any way trips it.
+
+Two cases are pinned: ``stt_small`` (θr=0.1, θc=8 — the paper's middle
+parameter case, canonical run on the grid backend) and ``stt_auto``
+(θr=0.2, θc=5, canonically regenerated through ``--index-backend
+auto`` — on this 4-D workload the adaptive provider starts on the k-d
+tree, so the fixture also pins that auto's answers are byte-identical
+to every concrete backend).
 
 Regenerating (only after an *intentional* output change)::
 
     PYTHONPATH=src python tests/golden/regen_golden.py
 
-which rewrites ``csgs_stt_small.json`` from the canonical run (grid
-backend, scalar refinement) and prints a digest to eyeball in review.
+which rewrites the fixture files from each case's canonical run (scalar
+refinement) and prints digests to eyeball in review.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 from repro.core.csgs import CSGS
 from repro.data.stt import STTStream
 from repro.streams.source import ListSource
 from repro.streams.windows import CountBasedWindowSpec, Windower
 
-#: Scaled-down Figure-7 configuration (STT-like 4-D stream, the paper's
-#: middle parameter case θr=0.1, θc=8).
-THETA_RANGE = 0.1
-THETA_COUNT = 8
 DIMENSIONS = 4
-WIN = 200
-SLIDE = 100
-WINDOWS = 6
-SEED = 7
-
-GOLDEN_PATH = Path(__file__).with_name("csgs_stt_small.json")
 
 
-def workload_points() -> List[tuple]:
-    count = WIN + (WINDOWS - 1) * SLIDE
-    return list(STTStream(total_records=count, seed=SEED).points(count))
+@dataclass(frozen=True)
+class GoldenCase:
+    """One pinned workload: parameters + canonical producer."""
+
+    name: str
+    theta_range: float
+    theta_count: int
+    win: int
+    slide: int
+    windows: int
+    seed: int
+    filename: str
+    canonical_backend: str
+
+    @property
+    def path(self) -> Path:
+        return Path(__file__).with_name(self.filename)
+
+    @property
+    def point_count(self) -> int:
+        return self.win + (self.windows - 1) * self.slide
 
 
-def run_trace(backend: str, refinement: str) -> List[dict]:
+CASES: Dict[str, GoldenCase] = {
+    case.name: case
+    for case in (
+        GoldenCase(
+            "stt_small", 0.1, 8, 200, 100, 6, 7,
+            "csgs_stt_small.json", "grid",
+        ),
+        GoldenCase(
+            "stt_auto", 0.2, 5, 240, 120, 5, 11,
+            "csgs_stt_auto.json", "auto",
+        ),
+    )
+}
+
+#: Backward-compatible aliases for the original single case.
+_SMALL = CASES["stt_small"]
+THETA_RANGE = _SMALL.theta_range
+THETA_COUNT = _SMALL.theta_count
+WIN = _SMALL.win
+SLIDE = _SMALL.slide
+WINDOWS = _SMALL.windows
+SEED = _SMALL.seed
+GOLDEN_PATH = _SMALL.path
+
+
+def workload_points(case: GoldenCase = _SMALL) -> List[tuple]:
+    count = case.point_count
+    return list(STTStream(total_records=count, seed=case.seed).points(count))
+
+
+def run_trace(
+    backend: str, refinement: str, case: GoldenCase = _SMALL
+) -> List[dict]:
     """Window-by-window C-SGS output in canonical (sorted) form."""
     csgs = CSGS(
-        THETA_RANGE,
-        THETA_COUNT,
+        case.theta_range,
+        case.theta_count,
         DIMENSIONS,
         backend=backend,
         refinement=refinement,
     )
-    spec = CountBasedWindowSpec(win=WIN, slide=SLIDE)
+    spec = CountBasedWindowSpec(win=case.win, slide=case.slide)
     trace = []
-    for batch in Windower(spec).batches(ListSource(workload_points())):
+    for batch in Windower(spec).batches(ListSource(workload_points(case))):
         output = csgs.process_batch(batch)
         trace.append(
             {

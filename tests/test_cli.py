@@ -130,3 +130,46 @@ def test_run_empty_input(tmp_path, capsys):
         ]
     ) == 1
     assert "empty" in capsys.readouterr().err
+
+
+def test_run_auto_backend_reports_resolution(tmp_path, capsys):
+    """--index-backend auto runs end to end and reports which concrete
+    backend the adaptive provider resolved to."""
+    stream_csv = tmp_path / "stream.csv"
+    assert main(
+        [
+            "generate",
+            "--kind",
+            "stt",
+            "--count",
+            "600",
+            "--seed",
+            "3",
+            "--out",
+            str(stream_csv),
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        [
+            "run",
+            "--input",
+            str(stream_csv),
+            "--theta-range",
+            "0.1",
+            "--theta-count",
+            "8",
+            "--win",
+            "300",
+            "--slide",
+            "150",
+            "--index-backend",
+            "auto",
+            "--max-windows",
+            "2",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    # The STT stream is 4-D: the expensive walk resolves to the k-d tree.
+    assert "auto backend: ran on kdtree" in out
+    assert "switches" in out

@@ -1,13 +1,17 @@
 """Golden-output regression: every backend × refinement mode must
-reproduce the serialized C-SGS run byte-for-byte.
+reproduce the serialized C-SGS runs byte-for-byte.
 
-The fixture (``tests/golden/csgs_stt_small.json``) holds the complete
-window-by-window output — cluster memberships and SGS summaries — of a
-seeded Figure-7-style workload. A mismatch means the refinement
-kernels, the provider seam, or the C-SGS pipeline changed observable
-output; regenerate only for intentional changes (see
-``tests/golden/regen_golden.py``).
+Each fixture under ``tests/golden/`` holds the complete window-by-window
+output — cluster memberships and SGS summaries — of a seeded
+Figure-7-style workload: ``csgs_stt_small.json`` (θr=0.1, θc=8,
+canonical on the grid backend) and ``csgs_stt_auto.json`` (θr=0.2,
+θc=5, canonically produced through ``--index-backend auto``). A
+mismatch means the refinement kernels, the provider seam, candidate
+gathering, or the C-SGS pipeline changed observable output; regenerate
+only for intentional changes (see ``tests/golden/regen_golden.py``).
 """
+
+import json
 
 import pytest
 
@@ -16,33 +20,42 @@ from repro.index import available_backends
 from tests.golden import workload
 
 REFINEMENTS = ("scalar", "vector") if HAVE_NUMPY else ("scalar",)
+CASE_NAMES = tuple(workload.CASES)
 
 
 @pytest.fixture(scope="module")
-def golden_text():
-    assert workload.GOLDEN_PATH.exists(), (
-        "golden fixture missing; run "
-        "`PYTHONPATH=src python tests/golden/regen_golden.py`"
-    )
-    return workload.GOLDEN_PATH.read_text()
+def golden_texts():
+    texts = {}
+    for name, case in workload.CASES.items():
+        assert case.path.exists(), (
+            f"golden fixture {case.filename} missing; run "
+            "`PYTHONPATH=src python tests/golden/regen_golden.py`"
+        )
+        texts[name] = case.path.read_text()
+    return texts
 
 
 @pytest.mark.parametrize("refinement", REFINEMENTS)
 @pytest.mark.parametrize("backend", available_backends())
-def test_csgs_reproduces_golden_output(backend, refinement, golden_text):
-    got = workload.render(workload.run_trace(backend, refinement))
-    assert got == golden_text, (
-        f"{backend}/{refinement} diverged from the golden C-SGS output"
+@pytest.mark.parametrize("case_name", CASE_NAMES)
+def test_csgs_reproduces_golden_output(
+    case_name, backend, refinement, golden_texts
+):
+    case = workload.CASES[case_name]
+    got = workload.render(workload.run_trace(backend, refinement, case=case))
+    assert got == golden_texts[case_name], (
+        f"{backend}/{refinement} diverged from the golden C-SGS output "
+        f"of {case_name}"
     )
 
 
-def test_golden_fixture_is_nontrivial(golden_text):
+@pytest.mark.parametrize("case_name", CASE_NAMES)
+def test_golden_fixture_is_nontrivial(case_name, golden_texts):
     """Guard against silently regenerating an empty/degenerate fixture."""
-    import json
-
-    trace = json.loads(golden_text)
-    # The windower emits one extra window for the final partial slide.
-    assert len(trace) >= workload.WINDOWS
+    case = workload.CASES[case_name]
+    trace = json.loads(golden_texts[case_name])
+    # The windower emits one extra window for a final partial slide.
+    assert len(trace) >= case.windows
     total_clusters = sum(len(entry["clusters"]) for entry in trace)
     assert total_clusters >= 10
     assert any(
@@ -54,3 +67,15 @@ def test_golden_fixture_is_nontrivial(golden_text):
         for summary in entry["summaries"]
         for cell in summary["cells"]
     )
+
+
+def test_auto_case_actually_exercises_the_adaptive_provider():
+    """The stt_auto fixture's canonical producer is the auto backend,
+    and on this 4-D workload auto must resolve away from the plain grid
+    walk (the point of pinning a second case under it)."""
+    from repro.index import AutoProvider
+
+    case = workload.CASES["stt_auto"]
+    assert case.canonical_backend == "auto"
+    provider = AutoProvider(case.theta_range, workload.DIMENSIONS)
+    assert provider.backend_name == "kdtree"

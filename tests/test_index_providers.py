@@ -1,6 +1,6 @@
 """Parity suite for the pluggable NeighborProvider backends.
 
-Every backend (grid, kdtree, rtree) must answer exactly the same
+Every backend (grid, kdtree, rtree, auto) must answer exactly the same
 fixed-radius neighbor queries — single and batched, static and under
 insert/remove/purge churn — and the clustering layer built on top must
 produce identical window output regardless of the backend selected.
@@ -18,10 +18,12 @@ from repro.geometry.coordstore import HAVE_NUMPY
 from repro.geometry.distance import euclidean_distance
 from repro.index import (
     BACKENDS,
+    AutoProvider,
     GridIndex,
     KDTreeProvider,
     RTreeProvider,
     available_backends,
+    cell_substrate,
     make_provider,
 )
 
@@ -52,13 +54,14 @@ def random_points(n, dims, seed, bound=5.0):
 
 
 def test_available_backends():
-    assert available_backends() == ("grid", "kdtree", "rtree")
+    assert available_backends() == ("auto", "grid", "kdtree", "rtree")
 
 
 def test_make_provider_types():
     assert isinstance(make_provider("grid", 0.5, 2), GridIndex)
     assert isinstance(make_provider("kdtree", 0.5, 2), KDTreeProvider)
     assert isinstance(make_provider("rtree", 0.5, 2), RTreeProvider)
+    assert isinstance(make_provider("auto", 0.5, 2), AutoProvider)
 
 
 def test_make_provider_unknown_backend():
@@ -158,7 +161,7 @@ def test_backends_pairwise_identical_after_churn():
     sizes = {len(provider) for provider in providers.values()}
     assert len(sizes) == 1
     alive = {obj.oid for obj in providers["grid"]}
-    for name in ("kdtree", "rtree"):
+    for name in BACKEND_NAMES:
         assert {obj.oid for obj in providers[name]} == alive
     probes = random_points(50, 2, seed=77)
     for coords in probes:
@@ -301,6 +304,112 @@ def test_system_from_query_uses_declared_backend():
     assert outputs and system.archived_count >= 0
 
 
+# ----------------------------------------------------------------------
+# The auto backend: selection heuristic and adaptive switching
+# ----------------------------------------------------------------------
+
+
+def test_auto_initial_choice_follows_walk_cost():
+    """Cheap offset walks (low d) pick the grid outright; expensive
+    walks (4-D+: 625+ cells) start on the k-d tree."""
+    for dims in (1, 2, 3):
+        provider = AutoProvider(0.5, dims)
+        assert provider.backend_name == "grid", dims
+        assert provider.walk_cost <= 200
+    for dims in (4, 5):
+        provider = AutoProvider(0.5, dims)
+        assert provider.backend_name == "kdtree", dims
+        assert provider.walk_cost > 200
+
+
+def test_auto_provider_exposes_cell_substrate():
+    provider = AutoProvider(0.4, 4)
+    substrate = cell_substrate(provider)
+    assert substrate is provider.cells
+    objects = make_objects(random_points(50, 4, seed=5))
+    for obj in objects:
+        coord = provider.insert(obj)
+        assert coord == provider.cells.cell_coord(obj.coords)
+    assert len(provider.cells) == len(provider) == len(objects)
+    # grid is its own substrate; search-only backends have none
+    grid = make_provider("grid", 0.4, 2)
+    assert cell_substrate(grid) is grid
+    assert cell_substrate(make_provider("kdtree", 0.4, 2)) is None
+    assert cell_substrate(make_provider("rtree", 0.4, 2)) is None
+
+
+def test_auto_switches_to_grid_when_cells_densify():
+    """Dense 4-D cells flip the kd-tree start to the grid; answers stay
+    exact across the switch (the rebuilt backend holds the live set)."""
+    provider = AutoProvider(0.5, 4, check_interval=32, dense_occupancy=4.0)
+    assert provider.backend_name == "kdtree"
+    # Pack many objects into few cells: occupancy far above the dense
+    # threshold by the first check.
+    rng = random.Random(0)
+    objects = make_objects(
+        [
+            tuple(rng.uniform(0, 0.2) for _ in range(4))
+            for _ in range(200)
+        ]
+    )
+    for obj in objects:
+        provider.insert(obj)
+    assert provider.backend_name == "grid"
+    assert provider.switches >= 1
+    assert len(provider) == len(objects)
+    for probe in objects[:15]:
+        got = {
+            o.oid
+            for o in provider.range_query(probe.coords, exclude_oid=probe.oid)
+        }
+        assert got == brute_force(objects, probe.coords, 0.5, probe.oid)
+
+
+def test_auto_switches_back_when_cells_sparsify():
+    """Removing the dense mass drops occupancy below the sparse
+    threshold and the provider returns to the k-d tree."""
+    provider = AutoProvider(
+        0.5, 4, check_interval=16, sparse_occupancy=2.0, dense_occupancy=4.0
+    )
+    rng = random.Random(1)
+    dense = make_objects(
+        [tuple(rng.uniform(0, 0.2) for _ in range(4)) for _ in range(120)]
+    )
+    sparse = make_objects(
+        [tuple(rng.uniform(0, 40.0) for _ in range(4)) for _ in range(40)],
+    )
+    for obj in sparse:
+        obj.oid += 10_000
+    for obj in dense + sparse:
+        provider.insert(obj)
+    assert provider.backend_name == "grid"
+    for obj in dense:
+        provider.remove(obj)
+    assert provider.backend_name == "kdtree"
+    assert provider.switches >= 2
+    alive = {obj.oid for obj in provider}
+    assert alive == {obj.oid for obj in sparse}
+    for probe in sparse[:10]:
+        got = {
+            o.oid
+            for o in provider.range_query(probe.coords, exclude_oid=probe.oid)
+        }
+        assert got == brute_force(sparse, probe.coords, 0.5, probe.oid)
+
+
+def test_auto_stats_survive_switches():
+    provider = AutoProvider(0.5, 4, check_interval=32)
+    objects = make_objects(
+        [(0.01 * i, 0.0, 0.0, 0.0) for i in range(100)]
+    )
+    for obj in objects:
+        provider.insert(obj)
+        provider.range_query(obj.coords, exclude_oid=obj.oid)
+    stats = provider.stats
+    assert stats["queries"] == 100
+    assert stats["candidates"] > 0
+
+
 def test_kdtree_provider_rebuilds_amortized():
     provider = KDTreeProvider(THETA, 2, rebuild_fraction=0.25, min_buffer=8)
     objects = make_objects(random_points(300, 2, seed=3))
@@ -363,8 +472,8 @@ def test_csgs_output_identical_across_backends():
     traces = {
         backend: _csgs_trace(backend, points) for backend in BACKEND_NAMES
     }
-    assert traces["kdtree"] == traces["grid"]
-    assert traces["rtree"] == traces["grid"]
+    for backend in BACKEND_NAMES:
+        assert traces[backend] == traces["grid"], backend
 
 
 def test_shared_csgs_identical_across_backends():
@@ -393,7 +502,7 @@ def test_shared_csgs_identical_across_backends():
         return trace
 
     reference = run("grid")
-    for backend in ("kdtree", "rtree"):
+    for backend in ("kdtree", "rtree", "auto"):
         assert run(backend) == reference
 
 
@@ -426,7 +535,7 @@ def test_insert_batch_matches_sequential_on_prepopulated_provider():
         tracker_with_stranger().insert_batch([newcomer])
 
 
-@pytest.mark.parametrize("backend", ("kdtree", "rtree"))
+@pytest.mark.parametrize("backend", ("kdtree", "rtree", "auto"))
 def test_shared_matches_independent_runs(backend):
     """Shared execution on a non-grid backend equals independent C-SGS."""
     points = clustered_points(

@@ -1,5 +1,7 @@
-"""Property-based cross-validation of the range-query indices and the
-per-tuple incremental clusterer."""
+"""Property-based cross-validation of the range-query indices, the
+sphere-pruned offset tables, and the per-tuple incremental clusterer."""
+
+import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,8 +10,13 @@ from tests.helpers import make_objects
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import dbscan
 from repro.clustering.inc_dbscan import IncrementalDBSCAN
+from repro.core.cells import CellStatus, SkeletalGridCell
 from repro.geometry.distance import euclidean_distance
-from repro.index.grid_index import GridIndex
+from repro.index.grid_index import (
+    GridIndex,
+    full_offset_table,
+    sphere_pruned_offsets,
+)
 from repro.index.kdtree import KDTree
 
 _coords = st.floats(min_value=-20, max_value=20, allow_nan=False)
@@ -40,6 +47,116 @@ def test_kdtree_and_grid_agree_with_bruteforce(points, radius):
     }
     assert from_grid == brute
     assert from_tree == brute
+
+
+# ----------------------------------------------------------------------
+# Sphere-pruned offset tables: exactly the cells whose minimum distance
+# to the base cell is <= theta_range — no false drops, no readmissions
+# ----------------------------------------------------------------------
+
+
+def _oracle_gap_sq(offset, side):
+    """Independent box-to-box minimum gap: built from the *absolute*
+    cell bounds of two SkeletalGridCells (clamp formulation), not from
+    the normalized corner arithmetic the implementation uses."""
+    dims = len(offset)
+    base = SkeletalGridCell((0,) * dims, side, 0, CellStatus.CORE)
+    other = SkeletalGridCell(offset, side, 0, CellStatus.CORE)
+    total = 0.0
+    for axis in range(dims):
+        gap = max(
+            0.0,
+            other.lows()[axis] - base.highs()[axis],
+            base.lows()[axis] - other.highs()[axis],
+        )
+        total += gap * gap
+    return total
+
+
+@given(
+    dims=st.integers(min_value=1, max_value=4),
+    reach=st.integers(min_value=1, max_value=3),
+    ratio=st.floats(
+        min_value=0.05, max_value=2.5, allow_nan=False, allow_infinity=False
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_sphere_pruned_offsets_exact(dims, reach, ratio):
+    """The pruned table holds exactly the offsets whose min cell-to-cell
+    distance is <= θr (θr = 1, side = ratio): every offset at gap <= θr
+    is present (no false drops — the correctness-critical direction),
+    and nothing beyond the documented fp slack is readmitted. Offsets
+    inside the few-ulp gray band around the boundary are legal either
+    way; the slack only ever admits cells refinement will discard."""
+    table = sphere_pruned_offsets(dims, reach, ratio)
+    table_set = set(table)
+    assert len(table_set) == len(table)
+    full = full_offset_table(dims, reach)
+    assert table_set <= set(full)
+    for offset in full:
+        gap_sq = _oracle_gap_sq(offset, ratio)
+        if gap_sq <= 1.0:
+            assert offset in table_set, (
+                f"false drop: {offset} at gap² {gap_sq}"
+            )
+        elif gap_sq > 1.0 + 1e-6:
+            assert offset not in table_set, (
+                f"readmitted cell: {offset} at gap² {gap_sq}"
+            )
+    # Point symmetry: queries see the same table from either side.
+    for offset in table:
+        assert tuple(-delta for delta in offset) in table_set
+    # Module-level memoization: same key -> same shared object.
+    assert sphere_pruned_offsets(dims, reach, ratio) is table
+
+
+@given(
+    dims=st.integers(min_value=1, max_value=5),
+    theta=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_pruned_table_covers_every_neighbor_pair(dims, theta, data):
+    """Semantic no-false-drop witness under the paper's diagonal cell
+    sizing: any two points within θr of each other land in cells whose
+    offset is in the grid's pruned table."""
+    grid = GridIndex(theta, dims)
+    coord_strategy = st.floats(
+        min_value=-10.0, max_value=10.0, allow_nan=False
+    )
+    a = tuple(data.draw(coord_strategy) for _ in range(dims))
+    # Perturb within the θr-ball (scaled per-dimension so the total
+    # displacement stays <= θr).
+    scale = theta / math.sqrt(dims)
+    b = tuple(
+        value + data.draw(
+            st.floats(min_value=-scale, max_value=scale, allow_nan=False)
+        )
+        for value in a
+    )
+    if euclidean_distance(a, b) > theta:
+        return  # outside the ball: no claim
+    delta = tuple(
+        q - p for p, q in zip(grid.cell_coord(a), grid.cell_coord(b))
+    )
+    assert delta in set(grid._offsets), (
+        f"neighbor pair {a} / {b} spans offset {delta} "
+        "missing from the pruned table"
+    )
+
+
+def test_offset_tables_shared_across_instances():
+    """Two grids with the same (d, reach, side/θr) share one memoized
+    table object, whatever the absolute θr."""
+    a = GridIndex(0.2, 4)
+    b = GridIndex(1.7, 4)
+    assert a._offsets is b._offsets
+    assert a.reach == b.reach == 2
+    # Diagonal sizing keeps the whole cube reachable through 4-D...
+    assert len(a._offsets) == 5 ** 4
+    # ...while 5-D prunes almost two thirds of it.
+    c = GridIndex(0.3, 5)
+    assert len(c._offsets) == 6095 < 7 ** 5
 
 
 @st.composite
