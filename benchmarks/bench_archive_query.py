@@ -1,0 +1,269 @@
+"""Archive matching-query engine: filter-and-refine vs exhaustive scan.
+
+Builds a Figure-7-style archive (real C-SGS output from the STT-like
+4-D stream, scaled up with perturbed variants as in the Figure-8
+matching bench) and serves a fixed panel of matching queries three
+ways:
+
+* **exhaustive** — cluster-feature distance + cell-level match over
+  every archived pattern (the oracle the engine must agree with);
+* **engine** — the planner-driven filter-and-refine path
+  (``coarse_level=0``);
+* **engine+coarse** — the same with the multi-resolution coarse entry
+  (``coarse_level=1``).
+
+Reported per mode: candidates examined (patterns touched by any
+distance computation — the archive size for the exhaustive scan, the
+index gather for the engine) and wall time, plus the batched
+``match_many`` serving time for the whole panel.
+
+``test_archive_query_engine_examines_fewer`` is the CI perf-smoke gate
+(``pytest benchmarks -k "refinement or pruning or archive"``): it fails
+if the engine's candidate count ever reaches the exhaustive count on
+this archive, or if any mode disagrees with the exhaustive answers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from common import WIN, report, stt_points
+from repro.archive.archiver import PatternArchiver
+from repro.archive.pattern_base import PatternBase
+from repro.core.csgs import CSGS
+from repro.core.features import ClusterFeatures
+from repro.core.sgs import SGS
+from repro.eval.harness import Table, fmt_seconds
+from repro.matching.alignment import anytime_alignment_search
+from repro.matching.metric import DistanceMetricSpec, cluster_feature_distance
+from repro.retrieval import MatchEngine, MatchQuery
+from repro.streams.source import ListSource
+from repro.streams.windows import CountBasedWindowSpec, Windower
+
+THETA_RANGE, THETA_COUNT = 0.1, 8
+SLIDE = 500
+MEASURE_WINDOWS = 4
+ARCHIVE_SIZE = 300
+THRESHOLD = 0.2
+QUERY_COUNT = 6
+
+_state = {}
+
+
+def _perturbed_variant(sgs: SGS, rng: random.Random) -> SGS:
+    """Translate + crop a real summary so the synthetic history is
+    feature-diverse (what lets the indices prune; cf. Figure 8)."""
+    shift = tuple(rng.randint(-40, 40) for _ in range(sgs.dimensions))
+    locations = list(sgs.cells)
+    keep = max(1, int(round(len(locations) * rng.uniform(0.4, 1.0))))
+    kept = set(rng.sample(locations, keep))
+    if not any(sgs.cells[loc].is_core for loc in kept):
+        kept.add(
+            next(loc for loc in locations if sgs.cells[loc].is_core)
+        )
+    cells = []
+    for loc in kept:
+        cell = sgs.cells[loc]
+        moved = tuple(c + s for c, s in zip(loc, shift))
+        connections = frozenset(
+            tuple(c + s for c, s in zip(conn, shift))
+            for conn in cell.connections
+        )
+        cells.append(
+            type(cell)(
+                moved, cell.side_length, cell.population, cell.status,
+                connections,
+            )
+        )
+    return SGS(
+        cells,
+        sgs.side_length,
+        level=sgs.level,
+        cluster_id=sgs.cluster_id,
+        window_index=rng.randrange(12),
+    )
+
+
+def _archive_and_queries():
+    if "base" not in _state:
+        rng = random.Random(17)
+        points = stt_points(WIN + MEASURE_WINDOWS * SLIDE, seed=0)
+        csgs = CSGS(THETA_RANGE, THETA_COUNT, 4)
+        base = PatternBase()
+        archiver = PatternArchiver(base)
+        spec = CountBasedWindowSpec(win=WIN, slide=SLIDE)
+        seeds = []
+        produced = 0
+        for batch in Windower(spec).batches(ListSource(points)):
+            output = csgs.process_batch(batch)
+            archiver.archive_output(output)
+            seeds.extend(output.summaries)
+            produced += 1
+            if produced >= MEASURE_WINDOWS:
+                break
+        while len(base) < ARCHIVE_SIZE:
+            base.add(
+                _perturbed_variant(rng.choice(seeds), rng),
+                rng.randrange(50, 500),
+            )
+        patterns = sorted(base.all_patterns(), key=lambda p: p.pattern_id)
+        step = max(1, len(patterns) // QUERY_COUNT)
+        queries = [p.sgs for p in patterns[::step][:QUERY_COUNT]]
+        _state["base"] = base
+        _state["queries"] = queries
+    return _state["base"], _state["queries"]
+
+
+def _run_exhaustive(base, query_sgs, threshold, spec):
+    """The oracle: no index, no coarse entry; returns (pairs, examined)."""
+    features = ClusterFeatures.from_sgs(query_sgs)
+    mbr = query_sgs.mbr()
+    results = []
+    examined = 0
+    for pattern in base.all_patterns():
+        examined += 1
+        coarse = cluster_feature_distance(
+            features, pattern.features, spec, mbr, pattern.mbr
+        )
+        if coarse > threshold:
+            continue
+        distance = anytime_alignment_search(
+            query_sgs, pattern.sgs, spec, max_expansions=32
+        ).distance
+        if distance <= threshold:
+            results.append((pattern.pattern_id, round(distance, 12)))
+    results.sort(key=lambda item: (item[1], item[0]))
+    return results, examined
+
+
+def _run_panel(base, queries, coarse_level):
+    engine = MatchEngine(base)
+    pairs = []
+    examined = 0
+    start = time.perf_counter()
+    for query_sgs in queries:
+        results, stats = engine.match(
+            MatchQuery(
+                sgs=query_sgs,
+                threshold=THRESHOLD,
+                coarse_level=coarse_level,
+            )
+        )
+        examined += stats.gathered
+        pairs.append(
+            [(r.pattern.pattern_id, round(r.distance, 12)) for r in results]
+        )
+    return time.perf_counter() - start, examined, pairs
+
+
+def test_archive_query_engine_examines_fewer(benchmark):
+    """Perf + candidate-count smoke (CI): on the Figure-7 benchmark
+    archive the filter-and-refine engine must examine strictly fewer
+    candidates than the exhaustive scan and return identical answers,
+    with and without the coarse entry."""
+    base, queries = _archive_and_queries()
+    spec = DistanceMetricSpec()
+    start = time.perf_counter()
+    exhaustive_pairs = []
+    exhaustive_examined = 0
+    for query_sgs in queries:
+        pairs, examined = _run_exhaustive(base, query_sgs, THRESHOLD, spec)
+        exhaustive_pairs.append(pairs)
+        exhaustive_examined += examined
+    t_exhaustive = time.perf_counter() - start
+
+    t_engine, engine_examined, engine_pairs = _run_panel(base, queries, 0)
+    t_coarse, coarse_examined, coarse_pairs = _run_panel(base, queries, 1)
+
+    engine = MatchEngine(base)
+    batch = [
+        MatchQuery(sgs=q, threshold=THRESHOLD) for q in queries
+    ]
+    start = time.perf_counter()
+    batched = engine.match_many(batch)
+    t_batched = time.perf_counter() - start
+    batched_pairs = [
+        [(r.pattern.pattern_id, round(r.distance, 12)) for r in results]
+        for results, _ in batched
+    ]
+
+    table = Table(
+        "Archive matching queries — filter-and-refine vs exhaustive "
+        f"scan ({len(base)} archived patterns, {len(queries)} queries, "
+        f"threshold {THRESHOLD})",
+        ["mode", "candidates examined", "wall time", "speedup"],
+    )
+    table.add_row(
+        "exhaustive scan", exhaustive_examined, fmt_seconds(t_exhaustive),
+        "1.00x",
+    )
+    table.add_row(
+        "engine (coarse off)", engine_examined, fmt_seconds(t_engine),
+        f"{t_exhaustive / max(t_engine, 1e-9):.2f}x",
+    )
+    table.add_row(
+        "engine (coarse L1)", coarse_examined, fmt_seconds(t_coarse),
+        f"{t_exhaustive / max(t_coarse, 1e-9):.2f}x",
+    )
+    table.add_row(
+        "engine (batched)", engine_examined, fmt_seconds(t_batched),
+        f"{t_exhaustive / max(t_batched, 1e-9):.2f}x",
+    )
+    report(table.render())
+
+    assert engine_pairs == exhaustive_pairs, (
+        "engine answers diverged from the exhaustive scan"
+    )
+    assert coarse_pairs == exhaustive_pairs, (
+        "coarse-entry answers diverged from the exhaustive scan"
+    )
+    assert batched_pairs == exhaustive_pairs, (
+        "batched answers diverged from the exhaustive scan"
+    )
+    assert engine_examined < exhaustive_examined, (
+        f"engine examined {engine_examined} candidates, exhaustive scan "
+        f"{exhaustive_examined}: the indices pruned nothing"
+    )
+    assert coarse_examined < exhaustive_examined
+    benchmark.pedantic(
+        lambda: _run_panel(base, queries, 0), rounds=1, iterations=1
+    )
+
+
+def test_archive_query_coarse_entry_cuts_refinement(benchmark):
+    """Report the coarse entry's effect on the expensive stored-level
+    matches at a loose threshold (where refinement dominates)."""
+    base, queries = _archive_and_queries()
+    loose = 0.45
+    engine = MatchEngine(base)
+    table = Table(
+        "Coarse-entry ablation — stored-level cell matches per query "
+        f"(threshold {loose})",
+        ["coarse level", "refined", "coarse rejected", "wall time"],
+    )
+    reference = None
+    for coarse_level in (0, 1):
+        refined = 0
+        rejected = 0
+        start = time.perf_counter()
+        pairs = []
+        for query_sgs in queries:
+            results, stats = engine.match(
+                MatchQuery(
+                    sgs=query_sgs, threshold=loose, coarse_level=coarse_level
+                )
+            )
+            refined += stats.refined
+            rejected += stats.coarse_rejected
+            pairs.append([r.pattern.pattern_id for r in results])
+        elapsed = time.perf_counter() - start
+        table.add_row(coarse_level, refined, rejected, fmt_seconds(elapsed))
+        if reference is None:
+            reference = pairs
+        else:
+            assert pairs == reference, "coarse entry changed answers"
+    report(table.render())
+    benchmark.pedantic(
+        lambda: _run_panel(base, queries, 1), rounds=1, iterations=1
+    )

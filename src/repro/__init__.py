@@ -69,6 +69,7 @@ from repro.summaries.crd import CRDSummarizer
 from repro.summaries.rsp import RSPSummarizer
 from repro.summaries.skps import SkPSSummarizer
 from repro.query.parser import QueryParseError, parse_query
+from repro.retrieval import EngineStats, MatchEngine, MatchQuery
 from repro.system.extractor import PatternExtractor
 from repro.system.framework import StreamPatternMiningSystem
 from repro.tracking.archiver import EvolutionDrivenArchiver
@@ -93,6 +94,9 @@ __all__ = [
     "FeatureFilterPolicy",
     "GMTIStream",
     "ListSource",
+    "EngineStats",
+    "MatchEngine",
+    "MatchQuery",
     "MatchResult",
     "MatchStats",
     "NaiveWindowClusterer",

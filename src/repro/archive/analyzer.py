@@ -12,45 +12,49 @@ Section 7.2's two-phase execution:
    non-position-sensitive case); those within the threshold are returned,
    closest first.
 
-The returned :class:`MatchStats` record how many candidates each phase
-touched — the basis of the paper's "only 6% needed the grid-level match"
-observation.
+Since PR 4 the execution itself lives in :mod:`repro.retrieval`: the
+analyzer is a thin façade that builds a
+:class:`~repro.retrieval.queries.MatchQuery` and hands it to the
+:class:`~repro.retrieval.engine.MatchEngine` (exposed as
+:attr:`PatternAnalyzer.engine` — planner choice, batched serving, and
+the multi-resolution coarse entry are reachable there). The returned
+:class:`MatchStats` keep the original phase accounting — the basis of
+the paper's "only 6% needed the grid-level match" observation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro.archive.pattern_base import ArchivedPattern, PatternBase
-from repro.core.features import ClusterFeatures
+from repro.archive.pattern_base import PatternBase
 from repro.core.sgs import SGS
-from repro.matching.alignment import anytime_alignment_search
-from repro.matching.cell_match import cell_level_distance
-from repro.matching.metric import (
-    DistanceMetricSpec,
-    cluster_feature_distance,
-    feature_search_ranges,
-)
+from repro.matching.metric import DistanceMetricSpec
+from repro.retrieval.engine import EngineStats, MatchEngine, MatchResult
 
-
-@dataclass(frozen=True)
-class MatchResult:
-    """One matched pattern with its refined distance."""
-
-    pattern: ArchivedPattern
-    distance: float
-    alignment: tuple
+__all__ = ["MatchResult", "MatchStats", "PatternAnalyzer"]
 
 
 @dataclass
 class MatchStats:
-    """Per-query phase accounting."""
+    """Per-query phase accounting (compatibility view of
+    :class:`~repro.retrieval.engine.EngineStats`)."""
 
     archive_size: int = 0
     index_candidates: int = 0
     refined: int = 0
     matches: int = 0
+    entry: str = ""
+
+    @classmethod
+    def from_engine(cls, stats: EngineStats) -> "MatchStats":
+        return cls(
+            archive_size=stats.archive_size,
+            index_candidates=stats.gathered,
+            refined=stats.refined,
+            matches=stats.matches,
+            entry=stats.entry,
+        )
 
     @property
     def refine_fraction(self) -> float:
@@ -68,10 +72,23 @@ class PatternAnalyzer:
         base: PatternBase,
         spec: Optional[DistanceMetricSpec] = None,
         max_alignment_expansions: int = 32,
+        coarse_level: int = 0,
     ):
         self.base = base
-        self.spec = spec if spec is not None else DistanceMetricSpec()
-        self.max_alignment_expansions = max_alignment_expansions
+        self.engine = MatchEngine(
+            base,
+            spec=spec,
+            max_alignment_expansions=max_alignment_expansions,
+            coarse_level=coarse_level,
+        )
+
+    @property
+    def spec(self) -> DistanceMetricSpec:
+        return self.engine.spec
+
+    @property
+    def max_alignment_expansions(self) -> int:
+        return self.engine.max_alignment_expansions
 
     def match(
         self,
@@ -79,54 +96,14 @@ class PatternAnalyzer:
         threshold: float,
         top_k: Optional[int] = None,
         spec: Optional[DistanceMetricSpec] = None,
-    ) -> tuple:
+    ) -> Tuple[List[MatchResult], MatchStats]:
         """Run one cluster matching query.
 
         Returns ``(results, stats)``: matches with refined distance
         ``<= threshold`` sorted ascending (truncated to ``top_k`` when
         given), plus the phase statistics.
         """
-        spec = spec if spec is not None else self.spec
-        stats = MatchStats(archive_size=len(self.base))
-        query_features = ClusterFeatures.from_sgs(query)
-        query_mbr = query.mbr()
-
-        if spec.position_sensitive:
-            candidates = self.base.overlapping(query_mbr)
-        else:
-            lows, highs = feature_search_ranges(query_features, spec, threshold)
-            candidates = self.base.in_feature_ranges(lows, highs)
-        stats.index_candidates = len(candidates)
-
-        results: List[MatchResult] = []
-        for pattern in candidates:
-            coarse = cluster_feature_distance(
-                query_features,
-                pattern.features,
-                spec,
-                query_mbr,
-                pattern.mbr,
-            )
-            if coarse > threshold:
-                continue
-            stats.refined += 1
-            if spec.position_sensitive:
-                distance = cell_level_distance(query, pattern.sgs, spec, None)
-                alignment = (0,) * query.dimensions
-            else:
-                search = anytime_alignment_search(
-                    query,
-                    pattern.sgs,
-                    spec,
-                    max_expansions=self.max_alignment_expansions,
-                )
-                distance = search.distance
-                alignment = search.alignment
-            if distance <= threshold:
-                results.append(MatchResult(pattern, distance, alignment))
-
-        results.sort(key=lambda r: (r.distance, r.pattern.pattern_id))
-        stats.matches = len(results)
-        if top_k is not None:
-            results = results[:top_k]
-        return results, stats
+        results, engine_stats = self.engine.match_sgs(
+            query, threshold, top_k=top_k, spec=spec
+        )
+        return results, MatchStats.from_engine(engine_stats)

@@ -24,7 +24,14 @@ DEFAULT_BIN_WIDTHS = (16.0, 8.0, 2.0, 1.0)
 
 
 class ArchivedPattern:
-    """One archived cluster: its SGS plus derived index keys."""
+    """One archived cluster: its SGS plus derived index keys.
+
+    ``ladder_hint`` records how many multi-resolution ladder levels a
+    matching engine has materialized above the stored representation —
+    a cache-warmth hint carried by the v2 archive format so a reloaded
+    archive can rebuild its coarse-entry caches eagerly. It never
+    affects matching results.
+    """
 
     __slots__ = (
         "pattern_id",
@@ -33,6 +40,7 @@ class ArchivedPattern:
         "mbr",
         "window_index",
         "full_size",
+        "ladder_hint",
     )
 
     def __init__(
@@ -40,6 +48,7 @@ class ArchivedPattern:
         pattern_id: int,
         sgs: SGS,
         full_size: int,
+        ladder_hint: int = 0,
     ):
         self.pattern_id = pattern_id
         self.sgs = sgs
@@ -47,6 +56,7 @@ class ArchivedPattern:
         self.mbr = sgs.mbr()
         self.window_index = sgs.window_index
         self.full_size = int(full_size)
+        self.ladder_hint = int(ladder_hint)
 
     def summary_bytes(self) -> int:
         return sgs_bytes(self.sgs)
@@ -70,11 +80,31 @@ class PatternBase:
     def add(self, sgs: SGS, full_size: int) -> ArchivedPattern:
         """Archive one summarized cluster; returns its stored form."""
         pattern = ArchivedPattern(self._next_id, sgs, full_size)
-        self._next_id += 1
+        return self.restore(pattern)
+
+    def restore(self, pattern: ArchivedPattern) -> ArchivedPattern:
+        """Register an already-materialized pattern under its own id.
+
+        The public seam persistence (and any cross-base migration tool)
+        goes through instead of poking the internal dicts and indices:
+        the pattern keeps its ``pattern_id``, both feature indices are
+        updated, and the id allocator advances past it so later
+        :meth:`add` calls never collide.
+        """
+        if pattern.pattern_id in self._patterns:
+            raise ValueError(
+                f"pattern id {pattern.pattern_id} already archived"
+            )
         self._patterns[pattern.pattern_id] = pattern
         self._locational.insert(pattern.mbr, pattern)
         self._features.insert(pattern.features.as_tuple(), pattern)
+        self._next_id = max(self._next_id, pattern.pattern_id + 1)
         return pattern
+
+    def add_archived(self, pattern: ArchivedPattern) -> ArchivedPattern:
+        """Alias of :meth:`restore` (API-discoverable counterpart of
+        :meth:`add` for patterns that already carry an id)."""
+        return self.restore(pattern)
 
     def remove(self, pattern_id: int) -> bool:
         pattern = self._patterns.pop(pattern_id, None)
@@ -99,6 +129,15 @@ class PatternBase:
 
     def all_patterns(self) -> Iterator[ArchivedPattern]:
         return iter(self._patterns.values())
+
+    def feature_index(self) -> FeatureGridIndex:
+        """The non-locational feature-grid index (read-only use: query
+        planners consult its extents and telemetry)."""
+        return self._features
+
+    def locational_index(self) -> RTree:
+        """The locational R-tree index (read-only use)."""
+        return self._locational
 
     def summary_bytes(self) -> int:
         """Total serialized size of all archived summaries."""

@@ -7,11 +7,18 @@ length-prefixed :mod:`repro.core.serialize` blob per pattern (with its
 full-representation size) — and restores it with identical pattern ids,
 feature-index contents, and byte accounting.
 
-Format::
+Format (version 2; version-1 files still load)::
 
     magic  b"SGSA"   | uint32 version | uint32 pattern count
-    per pattern: uint32 pattern_id | uint32 full_size |
-                 uint32 blob length | SGS blob
+    per pattern (v2): uint32 pattern_id | uint32 full_size |
+                      uint8 ladder_hint | uint32 blob length | SGS blob
+    per pattern (v1): uint32 pattern_id | uint32 full_size |
+                      uint32 blob length | SGS blob
+
+``ladder_hint`` is the pattern's multi-resolution cache-warmth byte
+(how many coarser ladder levels a matching engine had materialized; see
+:class:`repro.archive.pattern_base.ArchivedPattern`): purely advisory,
+so a v1 file simply restores with cold hints.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from repro.archive.pattern_base import ArchivedPattern, PatternBase
 from repro.core.serialize import sgs_from_bytes, sgs_to_bytes
 
 _MAGIC = b"SGSA"
-_VERSION = 1
+_VERSION = 2
+_MAX_LADDER_HINT = 255
 
 PathLike = Union[str, Path]
 
@@ -45,8 +53,9 @@ def dump_pattern_base(base: PatternBase, target: Union[PathLike, BinaryIO]) -> i
     written += len(header)
     for pattern in patterns:
         blob = sgs_to_bytes(pattern.sgs)
+        hint = min(max(pattern.ladder_hint, 0), _MAX_LADDER_HINT)
         record = struct.pack(
-            "<III", pattern.pattern_id, pattern.full_size, len(blob)
+            "<IIBI", pattern.pattern_id, pattern.full_size, hint, len(blob)
         )
         target.write(record)
         target.write(blob)
@@ -57,8 +66,9 @@ def dump_pattern_base(base: PatternBase, target: Union[PathLike, BinaryIO]) -> i
 def load_pattern_base(source: Union[PathLike, BinaryIO]) -> PatternBase:
     """Read an archive written by :func:`dump_pattern_base`.
 
-    Pattern ids are preserved; the feature and locational indices are
-    rebuilt on load.
+    Pattern ids (and, for v2 files, the per-pattern ladder-hint bytes)
+    are preserved; the feature and locational indices are rebuilt on
+    load through the Pattern Base's public :meth:`restore` seam.
     """
     if isinstance(source, (str, Path)):
         with open(source, "rb") as handle:
@@ -67,25 +77,36 @@ def load_pattern_base(source: Union[PathLike, BinaryIO]) -> PatternBase:
     if header[: len(_MAGIC)] != _MAGIC:
         raise ValueError("not a Pattern Base archive file")
     version, count = struct.unpack_from("<II", header, len(_MAGIC))
-    if version != _VERSION:
+    if version == 1:
+        record_format = "<III"
+    elif version == _VERSION:
+        record_format = "<IIBI"
+    else:
         raise ValueError(f"unsupported archive version {version}")
+    record_size = struct.calcsize(record_format)
     base = PatternBase()
-    max_id = -1
     for _ in range(count):
-        record = source.read(12)
-        if len(record) != 12:
+        record = source.read(record_size)
+        if len(record) != record_size:
             raise ValueError("truncated archive: missing pattern record")
-        pattern_id, full_size, blob_length = struct.unpack("<III", record)
+        if version == 1:
+            pattern_id, full_size, blob_length = struct.unpack(
+                record_format, record
+            )
+            ladder_hint = 0
+        else:
+            pattern_id, full_size, ladder_hint, blob_length = struct.unpack(
+                record_format, record
+            )
         blob = source.read(blob_length)
         if len(blob) != blob_length:
             raise ValueError("truncated archive: missing SGS blob")
         sgs = sgs_from_bytes(blob)
-        pattern = ArchivedPattern(pattern_id, sgs, full_size)
-        base._patterns[pattern_id] = pattern
-        base._locational.insert(pattern.mbr, pattern)
-        base._features.insert(pattern.features.as_tuple(), pattern)
-        max_id = max(max_id, pattern_id)
-    base._next_id = max_id + 1
+        base.restore(
+            ArchivedPattern(
+                pattern_id, sgs, full_size, ladder_hint=ladder_hint
+            )
+        )
     return base
 
 

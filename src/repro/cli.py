@@ -35,7 +35,7 @@ from repro.data.synthetic import DriftingBlobStream
 from repro.geometry.coordstore import REFINEMENT_MODES
 from repro.index.provider import available_backends
 from repro.matching.metric import DistanceMetricSpec
-from repro.archive.analyzer import PatternAnalyzer
+from repro.retrieval import MatchEngine, MatchQuery
 from repro.streams.objects import StreamObject
 from repro.streams.windows import CountBasedWindowSpec, TimeBasedWindowSpec
 from repro.system.framework import StreamPatternMiningSystem
@@ -118,6 +118,16 @@ def _metric_from_args(args: argparse.Namespace) -> DistanceMetricSpec:
     return DistanceMetricSpec(position_sensitive=args.position_sensitive)
 
 
+def _parse_window_span(text: Optional[str]) -> Optional[tuple]:
+    if text is None:
+        return None
+    try:
+        lo, _, hi = text.partition(":")
+        return (int(lo), int(hi))
+    except ValueError:
+        raise SystemExit(f"--windows expects LO:HI, got {text!r}")
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     base = load_pattern_base(args.archive)
     if args.pattern is not None:
@@ -125,20 +135,33 @@ def _cmd_match(args: argparse.Namespace) -> int:
         if pattern is None:
             print(f"no pattern {args.pattern} in archive", file=sys.stderr)
             return 1
-        query = pattern.sgs
+        query_sgs = pattern.sgs
     elif args.query_json:
         with open(args.query_json) as handle:
-            query = sgs_from_json(handle.read())
+            query_sgs = sgs_from_json(handle.read())
     else:
         print("need --pattern or --query-json", file=sys.stderr)
         return 1
-    analyzer = PatternAnalyzer(base, _metric_from_args(args))
-    results, stats = analyzer.match(
-        query, args.threshold, top_k=args.top
-    )
+    engine = MatchEngine(base, _metric_from_args(args))
+    engine.warm_ladders()
+    try:
+        query = MatchQuery(
+            sgs=query_sgs,
+            threshold=args.threshold,
+            top_k=args.top,
+            metric=engine.spec,
+            window_range=_parse_window_span(args.windows),
+            coarse_level=args.coarse_level,
+        )
+    except ValueError as error:
+        print(f"invalid matching query: {error}", file=sys.stderr)
+        return 1
+    results, stats = engine.match(query)
     print(
-        f"archive {len(base)}, index candidates {stats.index_candidates}, "
-        f"refined {stats.refined}, matches {stats.matches}"
+        f"archive {len(base)}: plan entry={stats.entry} "
+        f"gathered={stats.gathered} screened={stats.screened} "
+        f"coarse_rejected={stats.coarse_rejected} "
+        f"refined={stats.refined} matches={stats.matches}"
     )
     for rank, result in enumerate(results, start=1):
         print(
@@ -223,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--threshold", type=float, default=0.25)
     match.add_argument("--top", type=int, default=5)
     match.add_argument("--position-sensitive", action="store_true")
+    match.add_argument(
+        "--coarse-level", type=int, default=0,
+        help="multi-resolution entry level of the coarse-to-fine "
+        "refiner (0 = match stored cells directly)",
+    )
+    match.add_argument(
+        "--windows", default=None, metavar="LO:HI",
+        help="restrict matching to archived windows LO..HI (inclusive)",
+    )
     match.set_defaults(func=_cmd_match)
 
     show = sub.add_parser("show", help="display an archived pattern")

@@ -14,7 +14,7 @@ describe a workload once and hand it to the framework:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.geometry.coordstore import validate_refinement
 from repro.index.provider import validate_backend
@@ -45,6 +45,11 @@ class ContinuousClusteringQuery:
     window: WindowSpec
     index_backend: str = "grid"
     refinement: str = "auto"
+    #: Matching-engine configuration threaded to the system's
+    #: :class:`~repro.retrieval.engine.MatchEngine` (coarse entry level
+    #: of the multi-resolution refiner; alignment-search budget).
+    match_coarse_level: int = 0
+    match_max_expansions: int = 32
 
     def __post_init__(self) -> None:
         if self.theta_range <= 0:
@@ -53,6 +58,10 @@ class ContinuousClusteringQuery:
             raise ValueError("theta_count must be at least 1")
         if self.dimensions < 1:
             raise ValueError("dimensions must be at least 1")
+        if self.match_coarse_level < 0:
+            raise ValueError("match_coarse_level must be non-negative")
+        if self.match_max_expansions < 1:
+            raise ValueError("match_max_expansions must be positive")
         validate_backend(self.index_backend)
         validate_refinement(self.refinement)
 
@@ -100,14 +109,30 @@ class ContinuousClusteringQuery:
 
 @dataclass
 class ClusterMatchingQuery:
-    """A cluster matching query (Figure 3)."""
+    """A cluster matching query (Figure 3).
+
+    ``window_range`` restricts matching to an inclusive span of archived
+    window indices; ``coarse_level`` selects the multi-resolution entry
+    level of the coarse-to-fine refiner (0 = match stored cells
+    directly). Both map one-to-one onto
+    :class:`repro.retrieval.queries.MatchQuery` (and onto the textual
+    template's ``MATCH WITH`` clause).
+    """
 
     sim_threshold: float
     metric: DistanceMetricSpec = field(default_factory=DistanceMetricSpec)
     top_k: Optional[int] = None
+    window_range: Optional[Tuple[int, int]] = None
+    coarse_level: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.sim_threshold <= 1:
             raise ValueError("sim_threshold must be in [0, 1]")
         if self.top_k is not None and self.top_k < 1:
             raise ValueError("top_k must be positive when given")
+        if self.coarse_level < 0:
+            raise ValueError("coarse_level must be non-negative")
+        if self.window_range is not None:
+            lo, hi = self.window_range
+            if lo > hi:
+                raise ValueError("window_range must be (lo, hi), lo <= hi")

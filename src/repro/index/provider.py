@@ -20,9 +20,10 @@ Four backends conform today:
   objects plus a small insertion buffer, rebuilding amortized;
 * ``rtree`` — :class:`RTreeProvider`, point entries in the Guttman
   :class:`~repro.index.rtree.RTree` with exact distance refinement;
-* ``auto`` — :class:`AutoProvider`, which picks grid vs k-d tree from
-  the dimensionality (size of the pruned offset table) and the observed
-  cell occupancy, switching adaptively as the stream evolves.
+* ``auto`` — :class:`AutoProvider`, which picks grid vs k-d tree vs
+  R-tree from the dimensionality (size of the pruned offset table),
+  the observed cell occupancy, and the removal churn, switching
+  adaptively as the stream evolves.
 
 All backends answer the *same* fixed-radius (θr) queries and are
 checked object-for-object identical by the parity test suite.
@@ -355,8 +356,17 @@ class AutoProvider:
       mean occupancy of the occupied θr-cells; every ``check_interval``
       mutations the choice is revisited with a hysteresis band
       (``>= dense_occupancy`` switches to the grid,
-      ``< sparse_occupancy`` back to the k-d tree) and a switch rebuilds
-      the new backend from the live objects.
+      ``< sparse_occupancy`` back to the trees) and a switch rebuilds
+      the new backend from the live objects;
+    * among the trees, the R-tree is picked over the k-d tree when the
+      workload is *very* sparse (mean occupancy below
+      ``rtree_occupancy`` — mostly singleton cells, where the R-tree's
+      ball-box search visits few leaves) **and** mutation-heavy (the
+      fraction of removals/purges among recent mutations is at least
+      ``rtree_churn``): the R-tree deletes in place while the k-d tree
+      tombstones and pays amortized full rebuilds. A half-churn
+      hysteresis keeps it from flapping back to the k-d tree on a
+      single quiet interval.
 
     The observer CellMap doubles as the SGS cell substrate: consumers
     discover it through :func:`cell_substrate`, so C-SGS on ``auto``
@@ -374,6 +384,8 @@ class AutoProvider:
         check_interval: int = 256,
         sparse_occupancy: float = 2.0,
         dense_occupancy: float = 4.0,
+        rtree_occupancy: float = 1.15,
+        rtree_churn: float = 0.35,
     ):
         if theta_range <= 0:
             raise ValueError("theta_range must be positive")
@@ -385,6 +397,12 @@ class AutoProvider:
             raise ValueError(
                 "need 0 < sparse_occupancy <= dense_occupancy"
             )
+        if rtree_occupancy > sparse_occupancy:
+            raise ValueError(
+                "rtree_occupancy must not exceed sparse_occupancy"
+            )
+        if not 0 < rtree_churn <= 1:
+            raise ValueError("rtree_churn must be in (0, 1]")
         self.theta_range = float(theta_range)
         self.dimensions = int(dimensions)
         self.refinement = resolve_refinement(refinement)
@@ -400,17 +418,24 @@ class AutoProvider:
         self._check_interval = int(check_interval)
         self._sparse_occupancy = float(sparse_occupancy)
         self._dense_occupancy = float(dense_occupancy)
+        self._rtree_occupancy = float(rtree_occupancy)
+        self._rtree_churn = float(rtree_churn)
         self.backend_name = (
             "grid" if self.walk_cost <= self._walk_budget else "kdtree"
         )
         self._inner = self._make(self.backend_name)
         self.switches = 0
         self._mutations = 0
+        self._recent_removals = 0
         self._carried_stats: Dict[str, int] = {}
 
     def _make(self, name: str):
         if name == "grid":
             return GridIndex(
+                self.theta_range, self.dimensions, refinement=self.refinement
+            )
+        if name == "rtree":
+            return RTreeProvider(
                 self.theta_range, self.dimensions, refinement=self.refinement
             )
         return KDTreeProvider(
@@ -428,11 +453,30 @@ class AutoProvider:
         self.backend_name = name
         self.switches += 1
 
-    def _note_mutations(self, count: int = 1) -> None:
+    def _note_mutations(self, count: int = 1, removals: int = 0) -> None:
         self._mutations += count
+        self._recent_removals += removals
         if self._mutations >= self._check_interval:
-            self._mutations = 0
             self._evaluate()
+            self._mutations = 0
+            self._recent_removals = 0
+
+    def _tree_choice(self, occupancy: float) -> str:
+        """Which tree serves a sparse workload: the k-d tree by default,
+        the R-tree when cells are near-singleton *and* churn is heavy
+        (in-place deletion beats tombstone-and-rebuild)."""
+        churn = self._recent_removals / max(1, self._mutations)
+        if self.backend_name == "rtree":
+            # Hysteresis: stay until churn halves or occupancy recovers.
+            if (
+                occupancy < self._rtree_occupancy
+                and churn >= self._rtree_churn / 2
+            ):
+                return "rtree"
+            return "kdtree"
+        if occupancy < self._rtree_occupancy and churn >= self._rtree_churn:
+            return "rtree"
+        return "kdtree"
 
     def _evaluate(self) -> None:
         if self.walk_cost <= self._walk_budget:
@@ -441,16 +485,13 @@ class AutoProvider:
         if not occupied:
             return
         occupancy = len(self._inner) / occupied
-        if (
-            self.backend_name == "kdtree"
-            and occupancy >= self._dense_occupancy
-        ):
-            self._switch("grid")
-        elif (
-            self.backend_name == "grid"
-            and occupancy < self._sparse_occupancy
-        ):
-            self._switch("kdtree")
+        if occupancy >= self._dense_occupancy:
+            if self.backend_name != "grid":
+                self._switch("grid")
+        elif occupancy < self._sparse_occupancy:
+            choice = self._tree_choice(occupancy)
+            if self.backend_name != choice:
+                self._switch(choice)
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -471,13 +512,13 @@ class AutoProvider:
     def remove(self, obj: StreamObject) -> None:
         self._inner.remove(obj)  # raises before the observer is touched
         self.cells.remove(obj)
-        self._note_mutations()
+        self._note_mutations(removals=1)
 
     def purge_expired(self, window_index: int) -> int:
         purged = self._inner.purge_expired(window_index)
         self.cells.purge_expired(window_index)
         if purged:
-            self._note_mutations(purged)
+            self._note_mutations(purged, removals=purged)
         return purged
 
     def range_query(

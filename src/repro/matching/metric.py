@@ -104,7 +104,11 @@ def feature_search_ranges(
     Any cluster whose feature ``i`` falls outside
     ``[v / (1 + t/w_i), v * (1 + t/w_i)]`` necessarily exceeds the overall
     distance threshold, so the feature-grid range query can skip it.
-    Zero-weight features are unconstrained.
+    Zero-weight features are unconstrained — and so are features whose
+    bound ``t/w_i`` reaches 1: the per-feature relative difference is
+    capped at 1, so an out-of-range value contributes at most ``w_i <=
+    t`` and cannot be excluded on its own (the uncapped derivation
+    silently dropped such still-matching candidates).
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
@@ -113,7 +117,7 @@ def feature_search_ranges(
     for name in FEATURE_NAMES:
         value = features[name]
         weight = spec.weight(name)
-        if weight <= _EPSILON:
+        if weight <= _EPSILON or threshold / weight >= 1.0:
             lows.append(0.0)
             highs.append(float("inf"))
             continue

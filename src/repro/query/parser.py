@@ -17,6 +17,13 @@ Cluster matching queries::
     [USING position_sensitive]
     [WEIGHT volume = 0.1 AND core_count = 0.2
         AND avg_density = 0.4 AND avg_connectivity = 0.3]
+    [TOP 5]
+    [MATCH WITH level = 1 AND windows = 3..9]
+
+The ``MATCH WITH`` clause carries retrieval-engine execution options:
+``level`` is the multi-resolution coarse entry level of the
+coarse-to-fine refiner, ``windows = lo..hi`` restricts matching to an
+inclusive span of archived window indices.
 
 The grammar is whitespace- and case-insensitive on keywords. Parsing
 produces the same dataclasses the programmatic API uses
@@ -60,6 +67,7 @@ _MATCH = re.compile(
     (?:\s+USING\s+(?P<ps>position_?sensitive))?
     (?:\s+WEIGHT\s+(?P<weights>.+?))?
     (?:\s+TOP\s+(?P<topk>\d+))?
+    (?:\s+MATCH\s+WITH\s+(?P<matchopts>.+?))?
     \s*(?:;\s*)?$
     """,
     re.IGNORECASE | re.VERBOSE | re.DOTALL,
@@ -67,6 +75,13 @@ _MATCH = re.compile(
 
 _WEIGHT_TERM = re.compile(
     r"(?P<name>\w+)\s*=\s*(?P<value>[\d.eE+-]+)", re.IGNORECASE
+)
+
+_MATCH_LEVEL = re.compile(
+    r"(?:coarse_?)?level\s*=\s*(?P<level>\d+)", re.IGNORECASE
+)
+_MATCH_WINDOWS = re.compile(
+    r"windows?\s*=\s*(?P<lo>\d+)\s*\.\.\s*(?P<hi>\d+)", re.IGNORECASE
 )
 
 _UNIT_SECONDS = {"s": 1.0, "ms": 1e-3, "m": 60.0}
@@ -83,6 +98,38 @@ def _parse_weights(text: str) -> Dict[str, float]:
     if not weights:
         raise QueryParseError(f"cannot parse WEIGHT clause: {text!r}")
     return weights
+
+
+def _parse_match_options(text: Optional[str]):
+    """``MATCH WITH level = n AND windows = lo..hi`` — retrieval-engine
+    execution options (both terms optional, in either order). Every
+    AND-separated term must fully match a known option, so typo'd
+    names (``sublevel``, ``rewindows``) are rejected, not absorbed."""
+    coarse_level = 0
+    window_range = None
+    if not text:
+        return coarse_level, window_range
+    terms = [
+        term.strip()
+        for term in re.split(r"\s+AND\s+", text, flags=re.IGNORECASE)
+        if term.strip()
+    ]
+    for term in terms:
+        level = _MATCH_LEVEL.fullmatch(term)
+        if level:
+            coarse_level = int(level.group("level"))
+            continue
+        windows = _MATCH_WINDOWS.fullmatch(term)
+        if windows:
+            window_range = (
+                int(windows.group("lo")), int(windows.group("hi"))
+            )
+            continue
+        raise QueryParseError(
+            f"cannot parse MATCH WITH term: {term!r} "
+            "(expected level = n or windows = lo..hi)"
+        )
+    return coarse_level, window_range
 
 
 def parse_query(
@@ -142,10 +189,15 @@ def parse_query(
                 position_sensitive=bool(match.group("ps"))
             )
         top_k = match.group("topk")
+        coarse_level, window_range = _parse_match_options(
+            match.group("matchopts")
+        )
         return ClusterMatchingQuery(
             sim_threshold=float(match.group("threshold")),
             metric=metric,
             top_k=int(top_k) if top_k else None,
+            coarse_level=coarse_level,
+            window_range=window_range,
         )
 
     raise QueryParseError(

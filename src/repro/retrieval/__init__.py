@@ -1,0 +1,41 @@
+"""Matching-query retrieval over the archived Stream History.
+
+The Pattern Base stores summarized clusters behind two feature indices
+(Section 7.1); this package turns it into a servable workload:
+
+* :mod:`repro.retrieval.queries` — the query model
+  (:class:`~repro.retrieval.queries.MatchQuery`: threshold / top-k,
+  metric spec, window-range and feature constraints, coarse entry
+  level);
+* :mod:`repro.retrieval.planner` — per-query entry-index selection
+  (R-tree / feature grid / full scan) with a provider-style stats
+  report;
+* :mod:`repro.retrieval.engine` — the coarse-to-fine refiner
+  (:class:`~repro.retrieval.engine.MatchEngine`) with a cached
+  multi-resolution ladder and batched ``match_many`` serving.
+
+``repro.archive.analyzer.PatternAnalyzer`` is a thin façade over this
+package; new callers should use :class:`MatchEngine` directly.
+"""
+
+from repro.retrieval.engine import EngineStats, MatchEngine, MatchResult
+from repro.retrieval.planner import (
+    ENTRY_FEATURE_GRID,
+    ENTRY_RTREE,
+    ENTRY_SCAN,
+    SCAN_CUTOFF,
+    plan_query,
+)
+from repro.retrieval.queries import MatchQuery
+
+__all__ = [
+    "ENTRY_FEATURE_GRID",
+    "ENTRY_RTREE",
+    "ENTRY_SCAN",
+    "EngineStats",
+    "MatchEngine",
+    "MatchQuery",
+    "MatchResult",
+    "SCAN_CUTOFF",
+    "plan_query",
+]

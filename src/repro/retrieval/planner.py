@@ -1,0 +1,152 @@
+"""Query planning: pick the entry index for one matching query.
+
+The Pattern Base maintains two feature indices (Section 7.1): the R-tree
+over cluster MBRs and the non-locational feature grid. The planner picks
+the entry point per query and reports its choice in a stats dict, the
+way the neighbor-search providers report gathering telemetry:
+
+* ``rtree`` — position-sensitive queries probe the locational index
+  with the query MBR (non-overlapping clusters are maximally distant,
+  so candidates outside it cannot match);
+* ``feature-grid`` — position-insensitive queries range-probe the
+  feature grid with the threshold-derived candidate ranges
+  (Section 7.2), intersected with any explicit feature constraints;
+* ``scan`` — the fallback when an index probe cannot beat a plain
+  walk: a tiny archive, or candidate ranges so wide they cover every
+  occupied feature bin (no filtering power).
+
+Gathering is separated from screening so batched serving can share one
+gather across a batch: :func:`gather` hits the index once,
+:func:`screen` applies one query's exact constraints to any candidate
+superset — applying it to the shared pool yields byte-identical results
+to a per-query gather.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.archive.pattern_base import ArchivedPattern, PatternBase
+from repro.core.features import FEATURE_NAMES, ClusterFeatures
+from repro.geometry.mbr import MBR
+from repro.matching.metric import feature_search_ranges
+from repro.retrieval.queries import MatchQuery
+
+#: Archives at or below this size skip index probes entirely: walking a
+#: handful of patterns is cheaper than a 4-D bin enumeration.
+SCAN_CUTOFF = 8
+
+ENTRY_RTREE = "rtree"
+ENTRY_FEATURE_GRID = "feature-grid"
+ENTRY_SCAN = "scan"
+
+
+class QueryPlan:
+    """A resolved entry choice for one query (or a shared batch)."""
+
+    __slots__ = ("entry", "lows", "highs", "mbr")
+
+    def __init__(
+        self,
+        entry: str,
+        lows: Optional[List[float]] = None,
+        highs: Optional[List[float]] = None,
+        mbr: Optional[MBR] = None,
+    ):
+        self.entry = entry
+        self.lows = lows
+        self.highs = highs
+        self.mbr = mbr
+
+
+def constraint_bounds(
+    query: MatchQuery, features: ClusterFeatures
+) -> Tuple[List[float], List[float]]:
+    """Threshold-derived candidate ranges intersected with the query's
+    explicit feature constraints, in :data:`FEATURE_NAMES` order."""
+    lows, highs = feature_search_ranges(
+        features, query.metric, query.threshold
+    )
+    if query.feature_ranges:
+        for d, name in enumerate(FEATURE_NAMES):
+            explicit = query.feature_ranges.get(name)
+            if explicit is None:
+                continue
+            lows[d] = max(lows[d], explicit[0])
+            highs[d] = min(highs[d], explicit[1])
+    return lows, highs
+
+
+def plan_query(
+    base: PatternBase,
+    query: MatchQuery,
+    features: ClusterFeatures,
+    mbr: MBR,
+) -> QueryPlan:
+    """Choose the entry index for one query against one archive."""
+    if query.metric.position_sensitive:
+        return QueryPlan(ENTRY_RTREE, mbr=mbr)
+    lows, highs = constraint_bounds(query, features)
+    if len(base) <= SCAN_CUTOFF:
+        return QueryPlan(ENTRY_SCAN, lows=lows, highs=highs)
+    if base.feature_index().covers_occupied_extent(lows, highs):
+        return QueryPlan(ENTRY_SCAN, lows=lows, highs=highs)
+    return QueryPlan(ENTRY_FEATURE_GRID, lows=lows, highs=highs)
+
+
+def gather(base: PatternBase, plan: QueryPlan) -> List[ArchivedPattern]:
+    """Execute a plan's index probe; returns the candidate superset."""
+    if plan.entry == ENTRY_RTREE:
+        return base.overlapping(plan.mbr)
+    if plan.entry == ENTRY_FEATURE_GRID:
+        return base.in_feature_ranges(plan.lows, plan.highs)
+    return list(base.all_patterns())
+
+
+def screen(
+    candidates: Sequence[ArchivedPattern],
+    query: MatchQuery,
+    mbr: MBR,
+    lows: Optional[Sequence[float]] = None,
+    highs: Optional[Sequence[float]] = None,
+) -> List[ArchivedPattern]:
+    """Apply one query's exact gather-equivalent constraints to a
+    candidate superset (shared batch gathers pass a union pool here).
+
+    Position-sensitive queries re-check MBR intersection; position-
+    insensitive queries re-check the candidate feature ranges — both are
+    exactly the predicates the per-query index probe evaluates, so the
+    output is identical to gathering for this query alone. The window
+    constraint (which no index covers) is applied for both modes.
+    """
+    result: List[ArchivedPattern] = []
+    position_sensitive = query.metric.position_sensitive
+    for pattern in candidates:
+        if not query.admits_window(pattern.window_index):
+            continue
+        if position_sensitive:
+            if not pattern.mbr.intersects(mbr):
+                continue
+            if not query.admits_features(pattern.features):
+                continue
+        else:
+            values = pattern.features.as_tuple()
+            if any(
+                value < low or value > high
+                for value, low, high in zip(values, lows, highs)
+            ):
+                continue
+        result.append(pattern)
+    return result
+
+
+def plan_stats(
+    plan: QueryPlan, archive_size: int, gathered: int, shared: bool = False
+) -> Dict[str, object]:
+    """The planner's report, shaped like the index providers' stats."""
+    return {
+        "entry": plan.entry,
+        "archive": archive_size,
+        "gathered": gathered,
+        "shared_gather": shared,
+    }

@@ -1,0 +1,102 @@
+"""The matching-query model served by the retrieval engine.
+
+A :class:`MatchQuery` is one executable cluster matching query over the
+Pattern Base: the query cluster's SGS, the distance threshold (and an
+optional top-k cut), the analyst's :class:`DistanceMetricSpec`, plus the
+archive-side constraints the paper's Figure-3 template implies but the
+bare analyzer never modeled — a window range over the stream history and
+explicit per-feature constraint ranges. ``coarse_level`` selects the
+multi-resolution entry level for the coarse-to-fine refiner (0 = match
+at the stored resolution directly).
+
+The dataclass is deliberately dumb: validation here, planning in
+:mod:`repro.retrieval.planner`, execution in
+:mod:`repro.retrieval.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.core.features import FEATURE_NAMES
+from repro.core.sgs import SGS
+from repro.matching.metric import DistanceMetricSpec
+
+#: A closed per-feature constraint interval; either side may be ±inf.
+FeatureRange = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class MatchQuery:
+    """One cluster matching query against the archived Stream History.
+
+    * ``sgs`` — the query cluster's summarized form (any resolution).
+    * ``threshold`` — maximum refined distance for a match, in [0, 1].
+    * ``top_k`` — keep only the k closest matches (``None`` = all).
+    * ``metric`` — the analyst's distance metric (position sensitivity
+      decides the entry index; weights shape the candidate ranges).
+    * ``window_range`` — inclusive ``(lo, hi)`` bound on the archived
+      pattern's window index (``None`` = the whole history).
+    * ``feature_ranges`` — explicit per-feature constraint intervals by
+      feature name, intersected with the threshold-derived candidate
+      search ranges (``{"volume": (8, 64)}`` keeps only patterns whose
+      volume lies in [8, 64]).
+    * ``coarse_level`` — number of multi-resolution ladder levels above
+      the stored representation to enter cell-level matching at; 0
+      disables the coarse entry.
+    """
+
+    sgs: SGS
+    threshold: float
+    top_k: Optional[int] = None
+    metric: DistanceMetricSpec = field(default_factory=DistanceMetricSpec)
+    window_range: Optional[Tuple[int, int]] = None
+    feature_ranges: Optional[Mapping[str, FeatureRange]] = None
+    coarse_level: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.threshold <= 1:
+            raise ValueError("threshold must be in [0, 1]")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be positive when given")
+        if self.coarse_level < 0:
+            raise ValueError("coarse_level must be non-negative")
+        if self.window_range is not None:
+            lo, hi = self.window_range
+            if lo > hi:
+                raise ValueError(
+                    f"window_range must be (lo, hi) with lo <= hi, "
+                    f"got {self.window_range}"
+                )
+        if self.feature_ranges:
+            unknown = set(self.feature_ranges) - set(FEATURE_NAMES)
+            if unknown:
+                raise ValueError(
+                    f"unknown constrained features: {sorted(unknown)}"
+                )
+            for name, (low, high) in self.feature_ranges.items():
+                if low > high:
+                    raise ValueError(
+                        f"feature range for {name!r} is inverted: "
+                        f"({low}, {high})"
+                    )
+
+    def admits_window(self, window_index: int) -> bool:
+        """True when an archived pattern's window passes the constraint."""
+        if self.window_range is None:
+            return True
+        lo, hi = self.window_range
+        return lo <= window_index <= hi
+
+    def admits_features(self, features) -> bool:
+        """True when the explicit feature constraints pass (the
+        threshold-derived ranges are *not* applied here; they are a
+        candidate-search optimization, not query semantics)."""
+        if not self.feature_ranges:
+            return True
+        for name, (low, high) in self.feature_ranges.items():
+            value = features[name]
+            if value < low or value > high:
+                return False
+        return True

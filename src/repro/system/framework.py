@@ -6,24 +6,29 @@
   representation per window);
 * the **Pattern Archiver** (selective archival, resolution choice);
 * the **Pattern Base** (dual feature indices);
-* the **Pattern Analyzer** (Cluster Matching Queries).
+* the **Pattern Analyzer / Match Engine** (Cluster Matching Queries —
+  the filter-and-refine retrieval engine of :mod:`repro.retrieval`).
 
 Typical use: construct, :meth:`run` (or :meth:`run_steps` to observe
-windows as they complete), then submit :meth:`match` queries against the
+windows as they complete), then submit :meth:`match` queries — or full
+:class:`~repro.retrieval.queries.MatchQuery` objects via
+:meth:`match_query` / batched :meth:`match_many` — against the
 accumulated stream history.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.archive.analyzer import MatchResult, MatchStats, PatternAnalyzer
 from repro.archive.archiver import ArchivePolicy, PatternArchiver
 from repro.archive.pattern_base import PatternBase
-from repro.config import ContinuousClusteringQuery
+from repro.config import ClusterMatchingQuery, ContinuousClusteringQuery
 from repro.core.csgs import WindowOutput
 from repro.core.sgs import SGS
 from repro.matching.metric import DistanceMetricSpec
+from repro.retrieval.engine import EngineStats, MatchEngine
+from repro.retrieval.queries import MatchQuery
 from repro.streams.objects import StreamObject
 from repro.streams.windows import WindowSpec
 from repro.system.extractor import PatternExtractor
@@ -44,6 +49,8 @@ class StreamPatternMiningSystem:
         archive_byte_budget: Optional[int] = None,
         index_backend: Optional[str] = None,
         refinement: Optional[str] = None,
+        match_coarse_level: Optional[int] = None,
+        match_max_expansions: Optional[int] = None,
     ):
         self.extractor = PatternExtractor(
             theta_range,
@@ -60,7 +67,21 @@ class StreamPatternMiningSystem:
             level=archive_level,
             byte_budget_per_cluster=archive_byte_budget,
         )
-        self.analyzer = PatternAnalyzer(self.pattern_base, metric)
+        self.analyzer = PatternAnalyzer(
+            self.pattern_base,
+            metric,
+            max_alignment_expansions=(
+                32 if match_max_expansions is None else match_max_expansions
+            ),
+            coarse_level=(
+                0 if match_coarse_level is None else match_coarse_level
+            ),
+        )
+
+    @property
+    def engine(self) -> MatchEngine:
+        """The matching-query engine serving this system's archive."""
+        return self.analyzer.engine
 
     @classmethod
     def from_query(
@@ -71,19 +92,22 @@ class StreamPatternMiningSystem:
         """Build a system from a declarative query (Figure 2 template).
 
         Consumes every field of the query — θr, θc, dimensions, window
-        spec, ``index_backend``, and ``refinement`` — so the
-        neighbor-search backend and kernel path declared on the query
-        are what the pipeline actually runs on (``index_backend="auto"``
-        yields the adaptive grid/kdtree provider; the choice it makes is
-        observable via ``system.extractor.algorithm.tracker.provider``).
+        spec, ``index_backend``, ``refinement``, and the matching-engine
+        configuration (``match_coarse_level`` /
+        ``match_max_expansions``) — so both the extraction pipeline and
+        the retrieval engine run exactly what the query declares.
         Remaining keyword arguments (metric, archive policy, …) pass
-        through to the constructor; explicit non-None ``index_backend``
-        / ``refinement`` keywords override the query's.
+        through to the constructor; explicit non-None keywords override
+        the query's fields.
         """
-        if kwargs.get("index_backend") is None:
-            kwargs["index_backend"] = query.index_backend
-        if kwargs.get("refinement") is None:
-            kwargs["refinement"] = query.refinement
+        for name in (
+            "index_backend",
+            "refinement",
+            "match_coarse_level",
+            "match_max_expansions",
+        ):
+            if kwargs.get(name) is None:
+                kwargs[name] = getattr(query, name)
         return cls(
             query.theta_range,
             query.theta_count,
@@ -120,6 +144,34 @@ class StreamPatternMiningSystem:
     ) -> "tuple[List[MatchResult], MatchStats]":
         """Submit a Cluster Matching Query (Figure 3) for any SGS."""
         return self.analyzer.match(query, threshold, top_k=top_k, spec=spec)
+
+    def match_query(
+        self, query: MatchQuery
+    ) -> Tuple[List[MatchResult], EngineStats]:
+        """Execute a full retrieval-engine query (window / feature
+        constraints, per-query coarse level) against the history."""
+        return self.engine.match(query)
+
+    def match_many(
+        self, queries: Sequence[MatchQuery]
+    ) -> List[Tuple[List[MatchResult], EngineStats]]:
+        """Batched matching: one shared candidate gather per entry index
+        (see :meth:`repro.retrieval.engine.MatchEngine.match_many`)."""
+        return self.engine.match_many(queries)
+
+    def matching_query_for(
+        self, sgs: SGS, declared: ClusterMatchingQuery
+    ) -> MatchQuery:
+        """Bind a declarative :class:`ClusterMatchingQuery` (Figure 3 /
+        the parser's GIVEN–SELECT template) to a concrete query SGS."""
+        return MatchQuery(
+            sgs=sgs,
+            threshold=declared.sim_threshold,
+            top_k=declared.top_k,
+            metric=declared.metric,
+            window_range=declared.window_range,
+            coarse_level=declared.coarse_level,
+        )
 
     @property
     def archived_count(self) -> int:

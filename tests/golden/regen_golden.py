@@ -34,6 +34,14 @@ def main() -> int:
             f"({len(text)} bytes, {len(trace)} windows, "
             f"{clusters} clusters)"
         )
+    match_trace = workload.run_match_trace()
+    text = workload.render(match_trace)
+    workload.MATCH_PATH.write_text(text)
+    matches = sum(len(entry["matches"]) for entry in match_trace)
+    print(
+        f"wrote {workload.MATCH_PATH} ({len(text)} bytes, "
+        f"{len(match_trace)} queries, {matches} matches)"
+    )
     return 0
 
 

@@ -25,13 +25,19 @@ refinement) and prints digests to eyeball in review.
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List
 
+from repro.archive.archiver import PatternArchiver
+from repro.archive.pattern_base import PatternBase
+from repro.archive.persistence import load_pattern_base, roundtrip_bytes
 from repro.core.csgs import CSGS
 from repro.data.stt import STTStream
+from repro.matching.metric import DistanceMetricSpec
+from repro.retrieval import MatchEngine, MatchQuery
 from repro.streams.source import ListSource
 from repro.streams.windows import CountBasedWindowSpec, Windower
 
@@ -140,3 +146,93 @@ def run_trace(
 def render(trace: List[dict]) -> str:
     """Canonical byte representation of a trace (what the file holds)."""
     return json.dumps(trace, sort_keys=True, indent=1) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The golden archive-matching workload (third fixture)
+# ----------------------------------------------------------------------
+
+#: Fixture pinning the retrieval engine's answers — threshold and top-k
+#: matching, both metric modes, coarse entry on and off — over a
+#: *persisted* archive built from the Figure-7 ``stt_small`` workload.
+MATCH_PATH = Path(__file__).with_name("archive_matches_stt.json")
+
+
+def build_match_archive(case: GoldenCase = _SMALL) -> PatternBase:
+    """The Pattern Base of the canonical workload run, round-tripped
+    through :mod:`repro.archive.persistence` so the fixture pins the
+    persisted-archive serving path, not just the in-memory one."""
+    base = PatternBase()
+    archiver = PatternArchiver(base)
+    csgs = CSGS(case.theta_range, case.theta_count, DIMENSIONS)
+    spec = CountBasedWindowSpec(win=case.win, slide=case.slide)
+    for batch in Windower(spec).batches(ListSource(workload_points(case))):
+        archiver.archive_output(csgs.process_batch(batch))
+    return load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+
+
+def run_match_trace(case: GoldenCase = _SMALL) -> List[dict]:
+    """Canonical (sorted, rounded) results of a fixed query panel."""
+    base = build_match_archive(case)
+    engine = MatchEngine(base)
+    pattern_ids = sorted(p.pattern_id for p in base.all_patterns())
+    query_ids = [pattern_ids[0], pattern_ids[len(pattern_ids) // 2]]
+    specs = {
+        "feature": DistanceMetricSpec(),
+        "positional": DistanceMetricSpec(position_sensitive=True),
+    }
+    trace: List[dict] = []
+    for query_id in query_ids:
+        query_sgs = base.get(query_id).sgs
+        for mode, spec in sorted(specs.items()):
+            for coarse in (0, 1):
+                for threshold, top_k in ((0.2, None), (0.5, 5)):
+                    query = MatchQuery(
+                        sgs=query_sgs,
+                        threshold=threshold,
+                        top_k=top_k,
+                        metric=spec,
+                        coarse_level=coarse,
+                    )
+                    results, stats = engine.match(query)
+                    trace.append(
+                        {
+                            "query": query_id,
+                            "mode": mode,
+                            "coarse": coarse,
+                            "threshold": threshold,
+                            "top": top_k,
+                            "entry": stats.entry,
+                            "gathered": stats.gathered,
+                            "refined": stats.refined,
+                            "matches": [
+                                [r.pattern.pattern_id, round(r.distance, 12)]
+                                for r in results
+                            ],
+                        }
+                    )
+    # One window-constrained query pins the history-span predicate.
+    query = MatchQuery(
+        sgs=base.get(query_ids[0]).sgs,
+        threshold=0.5,
+        window_range=(1, 3),
+    )
+    results, stats = engine.match(query)
+    trace.append(
+        {
+            "query": query_ids[0],
+            "mode": "feature",
+            "coarse": 0,
+            "threshold": 0.5,
+            "top": None,
+            "windows": [1, 3],
+            "entry": stats.entry,
+            "gathered": stats.gathered,
+            "refined": stats.refined,
+            "matches": [
+                [r.pattern.pattern_id, round(r.distance, 12)]
+                for r in results
+            ],
+        }
+    )
+    return trace

@@ -99,3 +99,42 @@ def test_remove():
     assert victim.pattern_id not in {
         p.pattern_id for p in base.in_feature_ranges(lows, highs)
     }
+
+
+def test_restore_preserves_id_and_advances_allocator():
+    from repro.archive.pattern_base import ArchivedPattern
+
+    base = PatternBase()
+    summaries = _summaries()
+    sgs, size = summaries[0]
+    pattern = ArchivedPattern(7, sgs, size, ladder_hint=2)
+    assert base.restore(pattern) is pattern
+    assert base.get(7) is pattern
+    assert base.get(7).ladder_hint == 2
+    # Both indices answer for the restored pattern.
+    assert pattern in base.overlapping(pattern.mbr)
+    features = pattern.features.as_tuple()
+    assert pattern in base.in_feature_ranges(features, features)
+    # The allocator advanced past the restored id.
+    fresh = base.add(summaries[1][0], summaries[1][1])
+    assert fresh.pattern_id == 8
+
+
+def test_restore_rejects_duplicate_id():
+    import pytest
+    from repro.archive.pattern_base import ArchivedPattern
+
+    base = PatternBase()
+    (sgs, size), *_ = _summaries()
+    base.restore(ArchivedPattern(3, sgs, size))
+    with pytest.raises(ValueError):
+        base.restore(ArchivedPattern(3, sgs, size))
+
+
+def test_add_archived_is_restore():
+    from repro.archive.pattern_base import ArchivedPattern
+
+    base = PatternBase()
+    (sgs, size), *_ = _summaries()
+    pattern = base.add_archived(ArchivedPattern(5, sgs, size))
+    assert base.get(5) is pattern

@@ -90,3 +90,67 @@ def test_truncated_rejected():
     blob = roundtrip_bytes(base)
     with pytest.raises(ValueError):
         load_pattern_base(io.BytesIO(blob[: len(blob) // 2]))
+
+
+def test_v2_roundtrip_preserves_ladder_hints():
+    base, _ = _populated(seed=6)
+    patterns = sorted(base.all_patterns(), key=lambda p: p.pattern_id)
+    for i, pattern in enumerate(patterns):
+        pattern.ladder_hint = i % 4
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    for pattern in patterns:
+        assert loaded.get(pattern.pattern_id).ladder_hint == (
+            pattern.ladder_hint
+        )
+
+
+def test_v1_archive_still_loads():
+    """A version-1 file (no per-pattern ladder-hint byte) restores with
+    cold hints and identical patterns."""
+    import struct
+
+    from repro.core.serialize import sgs_to_bytes
+
+    base, _ = _populated(seed=7)
+    patterns = sorted(base.all_patterns(), key=lambda p: p.pattern_id)
+    out = [b"SGSA", struct.pack("<II", 1, len(patterns))]
+    for pattern in patterns:
+        blob = sgs_to_bytes(pattern.sgs)
+        out.append(
+            struct.pack(
+                "<III", pattern.pattern_id, pattern.full_size, len(blob)
+            )
+        )
+        out.append(blob)
+    loaded = load_pattern_base(io.BytesIO(b"".join(out)))
+    assert len(loaded) == len(base)
+    for pattern in patterns:
+        restored = loaded.get(pattern.pattern_id)
+        assert restored.ladder_hint == 0
+        assert restored.full_size == pattern.full_size
+        assert set(restored.sgs.cells) == set(pattern.sgs.cells)
+
+
+def test_unknown_version_rejected():
+    import struct
+
+    blob = b"SGSA" + struct.pack("<II", 99, 0)
+    with pytest.raises(ValueError):
+        load_pattern_base(io.BytesIO(blob))
+
+
+def test_engine_caches_survive_reload():
+    """The ladder hints written by a matching engine re-warm a fresh
+    engine over the reloaded archive."""
+    from repro.retrieval import MatchEngine, MatchQuery
+
+    base, last = _populated(seed=8)
+    engine = MatchEngine(base)
+    engine.match(
+        MatchQuery(sgs=last.summaries[0], threshold=0.5, coarse_level=1)
+    )
+    hints = sum(p.ladder_hint for p in base.all_patterns())
+    assert hints > 0
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    fresh = MatchEngine(loaded)
+    assert fresh.warm_ladders() == hints

@@ -173,3 +173,83 @@ def test_run_auto_backend_reports_resolution(tmp_path, capsys):
     # The STT stream is 4-D: the expensive walk resolves to the k-d tree.
     assert "auto backend: ran on kdtree" in out
     assert "switches" in out
+
+
+def test_match_plan_stats_and_engine_options(tmp_path, capsys):
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1500", "--seed", "2", "--out",
+          str(stream_csv)])
+    main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "500", "--slide", "250",
+            "--archive", str(archive),
+        ]
+    )
+    capsys.readouterr()
+    assert main(
+        [
+            "match", "--archive", str(archive), "--pattern", "0",
+            "--threshold", "0.3", "--top", "3",
+            "--coarse-level", "1", "--windows", "0:2",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "plan entry=" in out
+    assert "refined=" in out
+    # The window constraint restricts every reported match.
+    for line in out.splitlines():
+        if line.startswith("#"):
+            window = int(line.split("(window ")[1].split(")")[0])
+            assert 0 <= window <= 2
+
+
+def test_match_rejects_bad_window_span(tmp_path):
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1200", "--out", str(stream_csv)])
+    main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+            "--archive", str(archive),
+        ]
+    )
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "match", "--archive", str(archive), "--pattern", "0",
+                "--windows", "nonsense",
+            ]
+        )
+
+
+def test_match_reports_invalid_query_cleanly(tmp_path, capsys):
+    """Semantically invalid engine options (inverted span, negative
+    coarse level) exit with an error message, not a traceback."""
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1200", "--out", str(stream_csv)])
+    main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+            "--archive", str(archive),
+        ]
+    )
+    capsys.readouterr()
+    assert main(
+        [
+            "match", "--archive", str(archive), "--pattern", "0",
+            "--windows", "9:3",
+        ]
+    ) == 1
+    assert "invalid matching query" in capsys.readouterr().err
+    assert main(
+        [
+            "match", "--archive", str(archive), "--pattern", "0",
+            "--coarse-level", "-1",
+        ]
+    ) == 1
+    assert "invalid matching query" in capsys.readouterr().err

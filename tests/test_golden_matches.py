@@ -1,0 +1,63 @@
+"""Golden-output regression for the archive matching engine.
+
+``tests/golden/archive_matches_stt.json`` pins the retrieval engine's
+byte-exact answers — threshold and top-k matching, both metric modes,
+coarse entry on and off, and a window-constrained query — over a
+*persisted* Pattern Base built from the Figure-7 ``stt_small``
+workload. A mismatch means the planner, the screens, the coarse-to-fine
+ladder, the distance metrics, or persistence changed observable
+retrieval output; regenerate only for intentional changes
+(``PYTHONPATH=src python tests/golden/regen_golden.py``).
+"""
+
+import json
+
+import pytest
+
+from tests.golden import workload
+
+
+@pytest.fixture(scope="module")
+def golden_text():
+    assert workload.MATCH_PATH.exists(), (
+        "golden fixture archive_matches_stt.json missing; run "
+        "`PYTHONPATH=src python tests/golden/regen_golden.py`"
+    )
+    return workload.MATCH_PATH.read_text()
+
+
+def test_engine_reproduces_golden_match_output(golden_text):
+    got = workload.render(workload.run_match_trace())
+    assert got == golden_text, (
+        "retrieval engine diverged from the golden archive-match output"
+    )
+
+
+def test_golden_match_fixture_is_nontrivial(golden_text):
+    """Guard against silently regenerating a degenerate fixture: the
+    panel must exercise both entry indices, produce real matches, and
+    show the index actually pruning candidates."""
+    trace = json.loads(golden_text)
+    assert len(trace) >= 12
+    entries = {item["entry"] for item in trace}
+    assert "rtree" in entries
+    assert "feature-grid" in entries
+    assert any(item["matches"] for item in trace)
+    archive_sizes = {item["gathered"] for item in trace}
+    assert len(archive_sizes) > 1  # gather sizes vary with the query
+    pruned = [
+        item for item in trace if item["gathered"] < max(archive_sizes)
+    ]
+    assert pruned, "no query showed index pruning"
+    # Coarse entry never changes answers: same panel modulo the coarse
+    # flag must return identical matches.
+    by_key = {}
+    for item in trace:
+        if "windows" in item:
+            continue
+        key = (item["query"], item["mode"], item["threshold"], item["top"])
+        by_key.setdefault(key, []).append(item["matches"])
+    for key, match_lists in by_key.items():
+        assert all(m == match_lists[0] for m in match_lists), (
+            f"coarse entry changed answers for {key}"
+        )

@@ -82,15 +82,36 @@ def test_position_sensitive_requires_mbrs():
 
 
 def test_search_ranges_paper_example():
-    # Section 7.2: volume 20, weight 0.2, threshold 0.2 -> bound t/w = 1
-    # -> candidates in [10, 40].
+    # Section 7.2's derivation: volume 20, weight 0.2, threshold 0.1
+    # -> bound t/w = 0.5 -> candidates in [20/1.5, 30].
     spec = DistanceMetricSpec(
         weights={"volume": 0.2, "core_count": 0.3, "avg_density": 0.3,
                  "avg_connectivity": 0.2}
     )
-    lows, highs = feature_search_ranges(_features(volume=20.0), spec, 0.2)
-    assert lows[0] == pytest.approx(10.0)
-    assert highs[0] == pytest.approx(40.0)
+    lows, highs = feature_search_ranges(_features(volume=20.0), spec, 0.1)
+    assert lows[0] == pytest.approx(20.0 / 1.5)
+    assert highs[0] == pytest.approx(30.0)
+
+
+def test_search_ranges_capped_bound_is_unconstrained():
+    # When t/w reaches 1 the per-feature relative difference cap bites:
+    # an out-of-range value contributes at most w <= t, so it cannot be
+    # excluded on its own. The paper's uncapped example (volume 20,
+    # weight 0.2, threshold 0.2 -> [10, 40]) would drop a pattern whose
+    # volume is 50 but whose other three features are identical — total
+    # distance exactly 0.2, a true match under <=-threshold semantics.
+    spec = DistanceMetricSpec(
+        weights={"volume": 0.2, "core_count": 0.3, "avg_density": 0.3,
+                 "avg_connectivity": 0.2}
+    )
+    query = _features(volume=20.0)
+    lows, highs = feature_search_ranges(query, spec, 0.2)
+    assert lows[0] == 0.0
+    assert highs[0] == float("inf")
+    dropped_by_old_ranges = _features(volume=50.0)
+    assert cluster_feature_distance(
+        query, dropped_by_old_ranges, spec
+    ) == pytest.approx(0.2)
 
 
 def test_search_ranges_exclude_only_impossible_candidates():

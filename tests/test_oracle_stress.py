@@ -301,3 +301,106 @@ def test_purge_empty_bucket_edge_randomized():
                 grid, oracle, obj.coords, obj.oid, f"window={window}"
             )
     assert grid.stats["cache_hits"] > 0  # the cache was really exercised
+
+
+# ----------------------------------------------------------------------
+# Occupancy-aware R-tree selection in the adaptive backend
+# ----------------------------------------------------------------------
+
+
+def _auto_provider_for_rtree(theta=0.5, dims=5):
+    """An AutoProvider tuned so its evaluation machinery runs inside a
+    short sequence: 5-D keeps the walk over budget (so the grid never
+    wins), and a tight check interval re-evaluates every few
+    mutations."""
+    from repro.index import AutoProvider
+
+    provider = AutoProvider(
+        theta,
+        dims,
+        check_interval=16,
+        rtree_occupancy=1.15,
+        rtree_churn=0.3,
+    )
+    assert provider.backend_name == "kdtree"  # 5-D starts off-grid
+    return provider
+
+
+def test_auto_switches_to_rtree_under_sparse_churn():
+    """Sparse, removal-heavy workloads flip the adaptive provider onto
+    the R-tree (in-place deletion, no tombstone rebuilds) — the switch
+    path the grid/kdtree-only heuristic never took — and every answer
+    along the way must match the linear oracle."""
+    rng = random.Random(23)
+    dims = 5
+    provider = _auto_provider_for_rtree(dims=dims)
+    oracle = LinearOracle(provider.theta_range)
+    next_oid = 0
+    visited = set()
+    span = 12.0
+    for step in range(420):
+        visited.add(provider.backend_name)
+        # Mostly uniform inserts (singleton cells) with heavy removal
+        # pressure: ~40% of mutations are deletions.
+        if rng.random() < 0.6 or len(oracle) < 4:
+            coords = tuple(rng.uniform(0, span) for _ in range(dims))
+            obj = StreamObject(next_oid, coords)
+            obj.first_window = 0
+            obj.last_window = 99
+            next_oid += 1
+            provider.insert(obj)
+            oracle.insert(obj)
+        else:
+            victim = rng.choice(list(oracle.objects.values()))
+            provider.remove(victim)
+            oracle.remove(victim)
+        if step % 7 == 0:
+            probe = tuple(rng.uniform(0, span) for _ in range(dims))
+            _check_query(provider, oracle, probe, -1, f"step={step}")
+        assert len(provider) == len(oracle)
+    assert "rtree" in visited, (
+        f"sparse churny workload never reached the R-tree "
+        f"(visited {sorted(visited)}, switches={provider.switches})"
+    )
+    # Full sweep on whatever backend the sequence ended on.
+    for obj in list(oracle.objects.values())[:25]:
+        _check_query(provider, oracle, obj.coords, obj.oid, "final sweep")
+
+
+def test_auto_rtree_hysteresis_returns_to_kdtree_when_churn_stops():
+    """Once removals stop, the half-churn hysteresis releases the
+    R-tree back to the k-d tree on a later evaluation."""
+    rng = random.Random(5)
+    dims = 5
+    provider = _auto_provider_for_rtree(dims=dims)
+    oracle = LinearOracle(provider.theta_range)
+    next_oid = 0
+    # Phase 1: sparse + churny until the R-tree is selected.
+    for _ in range(600):
+        if provider.backend_name == "rtree":
+            break
+        if rng.random() < 0.6 or len(oracle) < 4:
+            coords = tuple(rng.uniform(0, 12.0) for _ in range(dims))
+            obj = StreamObject(next_oid, coords)
+            obj.last_window = 99
+            next_oid += 1
+            provider.insert(obj)
+            oracle.insert(obj)
+        else:
+            victim = rng.choice(list(oracle.objects.values()))
+            provider.remove(victim)
+            oracle.remove(victim)
+    assert provider.backend_name == "rtree"
+    # Phase 2: insert-only traffic; churn collapses, the R-tree is let go.
+    for _ in range(200):
+        if provider.backend_name != "rtree":
+            break
+        coords = tuple(rng.uniform(0, 12.0) for _ in range(dims))
+        obj = StreamObject(next_oid, coords)
+        obj.last_window = 99
+        next_oid += 1
+        provider.insert(obj)
+        oracle.insert(obj)
+    assert provider.backend_name == "kdtree"
+    for obj in list(oracle.objects.values())[:20]:
+        _check_query(provider, oracle, obj.coords, obj.oid, "post-release")

@@ -161,3 +161,73 @@ def test_parsed_query_runs_end_to_end():
         spec=matching.metric,
     )
     assert len(results) <= 3
+
+
+def test_match_with_clause_level_and_windows():
+    query = parse_query(
+        """
+        GIVEN DensityBasedClusters C1
+        SELECT DensityBasedClusters FROM History
+        WHERE Distance <= 0.25
+        TOP 5
+        MATCH WITH level = 1 AND windows = 3..9
+        """
+    )
+    assert isinstance(query, ClusterMatchingQuery)
+    assert query.top_k == 5
+    assert query.coarse_level == 1
+    assert query.window_range == (3, 9)
+
+
+def test_match_with_clause_single_term_and_order():
+    query = parse_query(
+        "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+        "FROM History WHERE Distance <= 0.3 MATCH WITH windows = 0..4"
+    )
+    assert query.coarse_level == 0
+    assert query.window_range == (0, 4)
+    query = parse_query(
+        "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+        "FROM History WHERE Distance <= 0.3 "
+        "MATCH WITH windows = 2..6 AND coarse_level = 2;"
+    )
+    assert query.coarse_level == 2
+    assert query.window_range == (2, 6)
+
+
+def test_match_with_clause_composes_with_weights_and_ps():
+    query = parse_query(
+        "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+        "FROM History WHERE Distance <= 0.2 USING position_sensitive "
+        "WEIGHT volume = 0.4 AND core_count = 0.6 "
+        "MATCH WITH level = 1"
+    )
+    assert query.metric.position_sensitive
+    assert query.metric.weights["volume"] == pytest.approx(0.4)
+    assert query.coarse_level == 1
+
+
+def test_match_with_clause_rejects_unknown_terms():
+    with pytest.raises(QueryParseError):
+        parse_query(
+            "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+            "FROM History WHERE Distance <= 0.3 MATCH WITH beam = 7"
+        )
+
+
+def test_match_with_clause_rejects_inverted_windows():
+    with pytest.raises(ValueError):
+        parse_query(
+            "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+            "FROM History WHERE Distance <= 0.3 MATCH WITH windows = 9..3"
+        )
+
+
+def test_match_with_clause_rejects_typod_term_names():
+    # Substring matches must not be absorbed as the real options.
+    for clause in ("sublevel = 3", "rewindows = 1..2", "level = 1 extra"):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "GIVEN DensityBasedClusters C SELECT DensityBasedClusters "
+                f"FROM History WHERE Distance <= 0.3 MATCH WITH {clause}"
+            )
