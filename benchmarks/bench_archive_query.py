@@ -21,6 +21,12 @@ index gather for the engine) and wall time, plus the batched
 (``pytest benchmarks -k "refinement or pruning or archive"``): it fails
 if the engine's candidate count ever reaches the exhaustive count on
 this archive, or if any mode disagrees with the exhaustive answers.
+``test_archive_query_inverted_screens_fewer`` gates the inverted
+cell-signature index the same way against the lazy-ladder screen: the
+posting-list screen must evaluate strictly fewer candidates (fast
+accepts ride the posting counters; only the rest touch a signature)
+while returning identical answers, and the planner's ``inverted``
+entry must gather no more than the scan it replaces.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.eval.harness import Table, fmt_seconds
 from repro.matching.alignment import anytime_alignment_search
 from repro.matching.metric import DistanceMetricSpec, cluster_feature_distance
 from repro.retrieval import MatchEngine, MatchQuery
+from repro.retrieval.inverted import canonical_cell_signature
 from repro.streams.source import ListSource
 from repro.streams.windows import CountBasedWindowSpec, Windower
 
@@ -228,6 +235,123 @@ def test_archive_query_engine_examines_fewer(benchmark):
     assert coarse_examined < exhaustive_examined
     benchmark.pedantic(
         lambda: _run_panel(base, queries, 0), rounds=1, iterations=1
+    )
+
+
+def _inverted_copy(base):
+    """The same archive with the inverted index maintained during
+    archival (fresh PatternBase: the shared `_state` base must stay
+    index-free for the ladder-path measurements)."""
+    copy = PatternBase(inverted_levels=(1,))
+    for pattern in sorted(base.all_patterns(), key=lambda p: p.pattern_id):
+        copy.add(pattern.sgs, pattern.full_size)
+    return copy
+
+
+def test_archive_query_inverted_screens_fewer(benchmark):
+    """Perf + candidate-count smoke (CI): at the coarse entry level the
+    inverted cell-signature screen must *evaluate* strictly fewer
+    candidates than the lazy-ladder screen (every candidate it clears
+    off the posting counters alone never touches per-pattern state;
+    the ladder walks a coarse SGS for each) and return identical
+    answers. The ``inverted`` planner entry must likewise gather no
+    more than the scan it replaces, again with identical answers."""
+    base, queries = _archive_and_queries()
+    inverted_base = _inverted_copy(base)
+    # Screen-vs-screen needs queries the guard does not stand down on.
+    coarse_queries = [
+        q
+        for q in queries
+        if len(canonical_cell_signature(q, 1, 3)) >= 8
+    ]
+    assert coarse_queries, "bench needs queries above the coarse guard"
+
+    ladder_engine = MatchEngine(base, use_inverted=False)
+    inverted_engine = MatchEngine(inverted_base)
+
+    def run_panel(engine, coarse_level, threshold):
+        pairs = []
+        evaluated = rejected = fast = refined = 0
+        start = time.perf_counter()
+        for query_sgs in coarse_queries:
+            results, stats = engine.match(
+                MatchQuery(
+                    sgs=query_sgs,
+                    threshold=threshold,
+                    coarse_level=coarse_level,
+                )
+            )
+            evaluated += stats.coarse_evaluated
+            rejected += stats.coarse_rejected
+            fast += stats.coarse_fast_accepted
+            refined += stats.refined
+            pairs.append(
+                [(r.pattern.pattern_id, round(r.distance, 12)) for r in results]
+            )
+        return time.perf_counter() - start, evaluated, rejected, fast, refined, pairs
+
+    t_l, eval_l, rej_l, _, refined_l, pairs_l = run_panel(
+        ladder_engine, 1, THRESHOLD
+    )
+    t_i, eval_i, rej_i, fast_i, refined_i, pairs_i = run_panel(
+        inverted_engine, 1, THRESHOLD
+    )
+
+    table = Table(
+        "Coarse screening — inverted cell-signature index vs lazy "
+        f"ladder ({len(base)} archived patterns, "
+        f"{len(coarse_queries)} queries, threshold {THRESHOLD}, "
+        "coarse L1)",
+        ["screen", "evaluated", "rejected", "fast accepts", "refined",
+         "wall time"],
+    )
+    table.add_row(
+        "lazy ladder", eval_l, rej_l, "-", refined_l, fmt_seconds(t_l)
+    )
+    table.add_row(
+        "inverted postings", eval_i, rej_i, fast_i, refined_i,
+        fmt_seconds(t_i),
+    )
+    report(table.render())
+
+    assert pairs_i == pairs_l, (
+        "inverted-screened answers diverged from the ladder screen"
+    )
+    assert eval_i < eval_l, (
+        f"inverted screen evaluated {eval_i} candidates, ladder "
+        f"{eval_l}: the posting lists earned nothing"
+    )
+    # Conservativeness shows up as refined_i >= refined_l; both agree
+    # on the final answers above.
+    assert refined_i >= refined_l
+
+    # The planner's inverted entry: at a threshold with no feature
+    # filtering power the scan is replaced by the screen's survivors.
+    loose = 0.45
+    scan_t, scan_gathered, scan_pairs = None, 0, []
+    inv_gathered = 0
+    inv_pairs = []
+    for query_sgs in coarse_queries:
+        results, stats = ladder_engine.match(
+            MatchQuery(sgs=query_sgs, threshold=loose, coarse_level=1)
+        )
+        scan_gathered += stats.gathered
+        scan_pairs.append([r.pattern.pattern_id for r in results])
+    for query_sgs in coarse_queries:
+        results, stats = inverted_engine.match(
+            MatchQuery(sgs=query_sgs, threshold=loose, coarse_level=1)
+        )
+        assert stats.entry == "inverted"
+        inv_gathered += stats.gathered
+        inv_pairs.append([r.pattern.pattern_id for r in results])
+    assert inv_pairs == scan_pairs, "inverted entry changed answers"
+    assert inv_gathered <= scan_gathered, (
+        f"inverted entry gathered {inv_gathered} > scan {scan_gathered}"
+    )
+    benchmark.pedantic(
+        lambda: run_panel(inverted_engine, 1, THRESHOLD),
+        rounds=1,
+        iterations=1,
     )
 
 

@@ -250,6 +250,69 @@ def test_grid_pruning_candidates_and_speed(benchmark):
     )
 
 
+def _run_batched_variant(case, slide: int, octant: bool):
+    """One windowed C-SGS run (the batched ``range_query_many`` plan)
+    on an injected grid provider with octant sub-grouping on or off;
+    returns (time, cluster counts, candidates handed to refinement)."""
+    theta_range, theta_count = case
+    provider = GridIndex(theta_range, 4, octant_batching=octant)
+    csgs = CSGS(theta_range, theta_count, 4, provider=provider)
+    elapsed, counts, _ = _measure_csgs(csgs, slide)
+    return elapsed, counts, provider.stats["candidates"]
+
+
+def test_octant_subgroup_pruning_batched_gather(benchmark):
+    """Candidate-count smoke (CI): per-octant probe sub-boxes must hand
+    refinement no more candidates than the legacy whole-cell box on the
+    batched C-SGS path — a sub-box is contained in the cell box, so a
+    bucket skipped by the cell box is skipped by every sub-box — and on
+    the Figure-7 4-D workload (where the whole-cell box defeats the
+    per-bucket screen entirely in low dimensions) the reduction must be
+    real, not zero. Output stays byte-identical either way: grouping
+    only partitions exact refinement."""
+    slide = SLIDES[1]
+    table = Table(
+        "Batched gather — per-octant probe sub-boxes vs whole-cell box "
+        "(Figure-7 workload, C-SGS slides)",
+        ["case (thr,thc)", "cand whole-cell", "cand octant", "reduction",
+         "time whole/octant"],
+    )
+    total_whole = 0
+    total_octant = 0
+    for case in STT_CASES:
+        t_whole, counts_whole, cand_whole = _run_batched_variant(
+            case, slide, octant=False
+        )
+        t_octant, counts_octant, cand_octant = _run_batched_variant(
+            case, slide, octant=True
+        )
+        assert counts_octant == counts_whole, (
+            f"octant sub-grouping changed cluster counts on {case}"
+        )
+        assert cand_octant <= cand_whole, (
+            f"octant sub-boxes gathered more candidates on {case}: "
+            f"{cand_octant} > {cand_whole}"
+        )
+        table.add_row(
+            f"({case[0]}, {case[1]})",
+            cand_whole,
+            cand_octant,
+            f"{1 - cand_octant / max(1, cand_whole):.1%}",
+            f"{fmt_seconds(t_whole)}/{fmt_seconds(t_octant)}",
+        )
+        total_whole += cand_whole
+        total_octant += cand_octant
+    report(table.render())
+    assert total_octant < total_whole, (
+        "octant sub-grouping pruned nothing across the Figure-7 cases"
+    )
+    benchmark.pedantic(
+        lambda: _run_batched_variant(STT_CASES[1], slide, octant=True),
+        rounds=1,
+        iterations=1,
+    )
+
+
 # ----------------------------------------------------------------------
 # Refinement ablation: scalar vs vectorized kernels
 # ----------------------------------------------------------------------

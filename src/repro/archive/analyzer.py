@@ -73,14 +73,32 @@ class PatternAnalyzer:
         spec: Optional[DistanceMetricSpec] = None,
         max_alignment_expansions: int = 32,
         coarse_level: int = 0,
+        engine=None,
     ):
+        """``engine`` injects a prebuilt engine; without one, the
+        analyzer builds the engine matching the base — a
+        :class:`~repro.retrieval.shards.ShardedMatchEngine` for a
+        partitioned archive, a plain :class:`MatchEngine` otherwise —
+        so the façade serves either transparently."""
         self.base = base
-        self.engine = MatchEngine(
-            base,
-            spec=spec,
-            max_alignment_expansions=max_alignment_expansions,
-            coarse_level=coarse_level,
-        )
+        if engine is None:
+            from repro.retrieval.shards import (
+                ShardedMatchEngine,
+                ShardedPatternBase,
+            )
+
+            engine_cls = (
+                ShardedMatchEngine
+                if isinstance(base, ShardedPatternBase)
+                else MatchEngine
+            )
+            engine = engine_cls(
+                base,
+                spec=spec,
+                max_alignment_expansions=max_alignment_expansions,
+                coarse_level=coarse_level,
+            )
+        self.engine = engine
 
     @property
     def spec(self) -> DistanceMetricSpec:

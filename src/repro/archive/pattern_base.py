@@ -9,6 +9,7 @@ or the other to locate candidates, depending on position sensitivity.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.core.features import ClusterFeatures
@@ -71,11 +72,26 @@ class ArchivedPattern:
 class PatternBase:
     """Dual-indexed store of archived patterns."""
 
-    def __init__(self, bin_widths: Sequence[float] = DEFAULT_BIN_WIDTHS):
+    def __init__(
+        self,
+        bin_widths: Sequence[float] = DEFAULT_BIN_WIDTHS,
+        inverted_levels: Optional[Sequence[int]] = None,
+        inverted_factor: int = 3,
+    ):
         self._patterns: Dict[int, ArchivedPattern] = {}
         self._next_id = 0
         self._locational = RTree()
         self._features = FeatureGridIndex(bin_widths)
+        #: Optional third index: the inverted cell-signature index
+        #: (posting lists over canonical-origin coarse cells), kept in
+        #: lock-step with the archive so coarse screening never walks a
+        #: per-pattern ladder (see :mod:`repro.retrieval.inverted`).
+        self._inverted = None
+        #: Weakly-held removal listeners (matching engines drop their
+        #: cached ladders through this when maintenance evicts).
+        self._removal_listeners: List[weakref.ref] = []
+        if inverted_levels:
+            self.enable_inverted(inverted_levels, inverted_factor)
 
     def add(self, sgs: SGS, full_size: int) -> ArchivedPattern:
         """Archive one summarized cluster; returns its stored form."""
@@ -98,6 +114,8 @@ class PatternBase:
         self._patterns[pattern.pattern_id] = pattern
         self._locational.insert(pattern.mbr, pattern)
         self._features.insert(pattern.features.as_tuple(), pattern)
+        if self._inverted is not None:
+            self._inverted.add(pattern.pattern_id, pattern.sgs)
         self._next_id = max(self._next_id, pattern.pattern_id + 1)
         return pattern
 
@@ -112,6 +130,9 @@ class PatternBase:
             return False
         self._locational.delete(pattern.mbr, pattern)
         self._features.remove(pattern.features.as_tuple(), pattern)
+        if self._inverted is not None:
+            self._inverted.remove(pattern_id)
+        self._notify_removed(pattern_id)
         return True
 
     def get(self, pattern_id: int) -> Optional[ArchivedPattern]:
@@ -138,6 +159,87 @@ class PatternBase:
     def locational_index(self) -> RTree:
         """The locational R-tree index (read-only use)."""
         return self._locational
+
+    # ------------------------------------------------------------------
+    # The inverted cell-signature index
+    # ------------------------------------------------------------------
+
+    def enable_inverted(
+        self, levels: Sequence[int], factor: int = 3
+    ):
+        """Attach (or rebuild) the inverted cell-signature index.
+
+        Signatures for every already-archived pattern are built
+        immediately — the "rebuild on legacy load" path — and from then
+        on maintained incrementally by :meth:`restore` / :meth:`remove`.
+        Returns the index.
+        """
+        from repro.retrieval.inverted import InvertedCellIndex
+
+        index = InvertedCellIndex(levels, factor)
+        for pattern in self._patterns.values():
+            index.add(pattern.pattern_id, pattern.sgs)
+        self._inverted = index
+        return index
+
+    def attach_inverted(self, index) -> None:
+        """Adopt a prebuilt inverted index (the persistence-load seam:
+        format v3 restores stored signatures without re-coarsening).
+        The index must already cover exactly the archived patterns."""
+        missing = [
+            pattern_id
+            for pattern_id in self._patterns
+            if pattern_id not in index
+        ]
+        if missing or len(index) != len(self._patterns):
+            raise ValueError(
+                "inverted index does not match the archive contents"
+            )
+        self._inverted = index
+
+    def inverted_index(self):
+        """The inverted cell-signature index, or None when disabled."""
+        return self._inverted
+
+    # ------------------------------------------------------------------
+    # Removal listeners
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Register an object to be told about removals.
+
+        ``listener.pattern_removed(pattern_id)`` is called whenever a
+        pattern leaves the base — eviction by the retention manager,
+        compaction, explicit removal. Listeners are held weakly, so a
+        discarded matching engine never pins the base (nor vice versa).
+        """
+        # The dedup scan doubles as the pruning pass for dead refs —
+        # a grow-only archive never removes, so without this every
+        # transient engine would leave a weakref behind forever.
+        live: List[weakref.ref] = []
+        known = False
+        for existing in self._removal_listeners:
+            target = existing()
+            if target is None:
+                continue
+            if target is listener:
+                known = True
+            live.append(existing)
+        if not known:
+            live.append(weakref.ref(listener))
+        self._removal_listeners = live
+
+    def _notify_removed(self, pattern_id: int) -> None:
+        if not self._removal_listeners:
+            return
+        live: List[weakref.ref] = []
+        for ref in self._removal_listeners:
+            listener = ref()
+            if listener is None:
+                continue
+            listener.pattern_removed(pattern_id)
+            live.append(ref)
+        self._removal_listeners = live
 
     def summary_bytes(self) -> int:
         """Total serialized size of all archived summaries."""

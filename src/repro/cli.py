@@ -35,7 +35,13 @@ from repro.data.synthetic import DriftingBlobStream
 from repro.geometry.coordstore import REFINEMENT_MODES
 from repro.index.provider import available_backends
 from repro.matching.metric import DistanceMetricSpec
-from repro.retrieval import MatchEngine, MatchQuery
+from repro.retrieval import (
+    MatchEngine,
+    MatchQuery,
+    PARTITION_KEYS,
+    ShardedMatchEngine,
+    ShardedPatternBase,
+)
 from repro.streams.objects import StreamObject
 from repro.streams.windows import CountBasedWindowSpec, TimeBasedWindowSpec
 from repro.system.framework import StreamPatternMiningSystem
@@ -93,6 +99,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         archive_level=args.level,
         index_backend=args.index_backend,
         refinement=args.refine,
+        match_inverted_levels=(
+            _parse_inverted_levels(args.inverted_levels) or None
+        ),
     )
     for output in system.run_steps(objects, max_windows=args.max_windows):
         digest = ", ".join(
@@ -128,6 +137,20 @@ def _parse_window_span(text: Optional[str]) -> Optional[tuple]:
         raise SystemExit(f"--windows expects LO:HI, got {text!r}")
 
 
+def _parse_inverted_levels(text: Optional[str]) -> tuple:
+    if not text:
+        return ()
+    try:
+        levels = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"--inverted-levels expects comma-separated rungs, got {text!r}"
+        )
+    if any(level < 1 for level in levels):
+        raise SystemExit("--inverted-levels rungs must be >= 1")
+    return levels
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     base = load_pattern_base(args.archive)
     if args.pattern is not None:
@@ -142,7 +165,31 @@ def _cmd_match(args: argparse.Namespace) -> int:
     else:
         print("need --pattern or --query-json", file=sys.stderr)
         return 1
-    engine = MatchEngine(base, _metric_from_args(args))
+    inverted_levels = _parse_inverted_levels(args.inverted_levels)
+    if inverted_levels and args.coarse_level < 1:
+        # The screen only runs at a coarse entry level; don't silently
+        # pay an archive-wide signature rebuild for nothing.
+        print(
+            "note: --inverted-levels has no effect without "
+            "--coarse-level >= 1; ignoring it",
+            file=sys.stderr,
+        )
+        inverted_levels = ()
+    loaded_index = base.inverted_index()
+    if inverted_levels and (
+        loaded_index is None
+        or not all(loaded_index.covers(lv) for lv in inverted_levels)
+    ):
+        # Legacy (v1/v2) archive, or one persisted with different
+        # rungs: rebuild the inverted index at the requested rungs.
+        base.enable_inverted(inverted_levels)
+    if args.shards > 1:
+        sharded = ShardedPatternBase.from_base(
+            base, args.shards, args.shard_key
+        )
+        engine = ShardedMatchEngine(sharded, _metric_from_args(args))
+    else:
+        engine = MatchEngine(base, _metric_from_args(args))
     engine.warm_ladders()
     try:
         query = MatchQuery(
@@ -157,8 +204,14 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(f"invalid matching query: {error}", file=sys.stderr)
         return 1
     results, stats = engine.match(query)
+    shard_note = ""
+    if args.shards > 1:
+        entries = "+".join(stats.plan.get("entries", []))
+        shard_note = f" shards={args.shards}({entries})"
+    if stats.coarse_screen:
+        shard_note += f" coarse_screen={stats.coarse_screen}"
     print(
-        f"archive {len(base)}: plan entry={stats.entry} "
+        f"archive {len(base)}: plan entry={stats.entry}{shard_note} "
         f"gathered={stats.gathered} screened={stats.screened} "
         f"coarse_rejected={stats.coarse_rejected} "
         f"refined={stats.refined} matches={stats.matches}"
@@ -237,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--level", type=int, default=0, help="archive resolution")
     run.add_argument("--max-windows", type=int, default=None)
     run.add_argument("--archive", default=None, help="persist pattern base")
+    run.add_argument(
+        "--inverted-levels", default=None, metavar="L1,L2",
+        help="maintain the inverted cell-signature index at these "
+        "coarse rungs during archival (persisted with --archive as "
+        "format v3, so later matching starts warm)",
+    )
     run.set_defaults(func=_cmd_run)
 
     match = sub.add_parser("match", help="run a cluster matching query")
@@ -254,6 +313,21 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument(
         "--windows", default=None, metavar="LO:HI",
         help="restrict matching to archived windows LO..HI (inclusive)",
+    )
+    match.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the loaded archive into this many shards and "
+        "fan the query out per shard (merged deterministically)",
+    )
+    match.add_argument(
+        "--shard-key", choices=PARTITION_KEYS, default="window",
+        help="partition key: window span or feature-grid region",
+    )
+    match.add_argument(
+        "--inverted-levels", default=None, metavar="L1,L2",
+        help="serve the coarse screen from the inverted cell-signature "
+        "index at these rungs (rebuilt if the archive file predates "
+        "format v3 or was persisted with different rungs)",
     )
     match.set_defaults(func=_cmd_match)
 

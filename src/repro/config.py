@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 from repro.geometry.coordstore import validate_refinement
 from repro.index.provider import validate_backend
 from repro.matching.metric import DistanceMetricSpec
+from repro.retrieval.shards import validate_partition_key
 from repro.streams.windows import (
     CountBasedWindowSpec,
     TimeBasedWindowSpec,
@@ -37,6 +38,15 @@ class ContinuousClusteringQuery:
     selects the distance-refinement kernel path (``auto`` / ``scalar`` /
     ``vector``; see :mod:`repro.geometry.coordstore` — ``auto``
     vectorizes when NumPy is available).
+
+    The serving-side knobs shape the archive the query accumulates:
+    ``match_shards`` > 1 partitions the Pattern Base (by
+    ``match_shard_key``: ``window`` span or ``feature`` grid region)
+    and fans matching queries out per shard;
+    ``match_inverted_levels`` maintains the inverted cell-signature
+    index at those coarse rungs during archival, so coarse screening
+    runs on posting lists instead of per-pattern ladder walks (see
+    :mod:`repro.retrieval.inverted` / :mod:`repro.retrieval.shards`).
     """
 
     theta_range: float
@@ -50,6 +60,13 @@ class ContinuousClusteringQuery:
     #: of the multi-resolution refiner; alignment-search budget).
     match_coarse_level: int = 0
     match_max_expansions: int = 32
+    #: Archive partitioning for the serving side: number of shards and
+    #: the partition key (``window`` / ``feature``).
+    match_shards: int = 1
+    match_shard_key: str = "window"
+    #: Coarse rungs of the inverted cell-signature index maintained
+    #: during archival (empty = no inverted index).
+    match_inverted_levels: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.theta_range <= 0:
@@ -62,6 +79,14 @@ class ContinuousClusteringQuery:
             raise ValueError("match_coarse_level must be non-negative")
         if self.match_max_expansions < 1:
             raise ValueError("match_max_expansions must be positive")
+        if self.match_shards < 1:
+            raise ValueError("match_shards must be positive")
+        validate_partition_key(self.match_shard_key)
+        self.match_inverted_levels = tuple(
+            int(level) for level in self.match_inverted_levels
+        )
+        if any(level < 1 for level in self.match_inverted_levels):
+            raise ValueError("match_inverted_levels must all be >= 1")
         validate_backend(self.index_backend)
         validate_refinement(self.refinement)
 

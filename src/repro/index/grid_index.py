@@ -243,6 +243,7 @@ class GridIndex(CellMap):
         dimensions: int,
         refinement: Optional[str] = None,
         prune: bool = True,
+        octant_batching: bool = True,
     ):
         super().__init__(theta_range, dimensions)
         # Neighbors of a point can lie at most ceil(sqrt(d)) cells away
@@ -258,6 +259,11 @@ class GridIndex(CellMap):
             self._offsets = full_offset_table(self.dimensions, self.reach)
         self._store = CoordStore(dimensions, refinement=refinement)
         self.refinement = self._store.refinement
+        #: Batched queries sub-group a cell's probes per octant so each
+        #: sub-group prunes against its own tighter bounding box (the
+        #: whole-cell box often spans every reachable bucket and prunes
+        #: nothing). ``False`` keeps the single whole-cell box for A/B.
+        self.octant_batching = bool(octant_batching)
         # Per-base-cell cache of the reachable *buckets* as (offset,
         # bucket list) pairs — offsets alias the shared table tuples.
         # Buckets are aliased, not copied: in-place bucket mutations
@@ -487,11 +493,23 @@ class GridIndex(CellMap):
 
         The reachable buckets depend only on the query's base cell, so
         queries are grouped by *distinct* base cell: candidates are
-        gathered (and their store rows resolved) once per cell — pruned
-        against the bounding box of the cell's probes — and all of the
-        cell's probes are refined in a single batched kernel sweep; on
+        gathered (and their store rows resolved) once per group — pruned
+        against the bounding box of the group's probes — and all of the
+        group's probes are refined in a single batched kernel sweep; on
         clustered window batches the C-SGS per-slide batch becomes one
         array pass per occupied cell.
+
+        A cell's probes are further sub-grouped per *octant* (their
+        position relative to the cell center, axis by axis): a box
+        spanning the whole cell keeps every reachable bucket within θr
+        in low dimensions, so the batched path pruned nothing where the
+        point-query path prunes per probe. Per-octant sub-boxes are at
+        most half a cell wide per axis, restoring most of that pruning
+        while still amortizing the gather over the co-located probes
+        (the reachable-bucket walk is cached per base cell either way).
+        Sub-grouping is pure partitioning of exact refinement — results
+        are byte-identical to the whole-cell box
+        (``octant_batching=False`` keeps the legacy path for A/B).
         """
         if not queries:
             return []
@@ -502,23 +520,43 @@ class GridIndex(CellMap):
         results: List[List[StreamObject]] = [[] for _ in queries]
         sq_range = self._sq_range
         dims = range(self.dimensions)
+        side = self.side
         for base, indices in query_indices_by_base.items():
-            probes = [queries[qi][0] for qi in indices]
-            if len(probes) == 1:
-                lo = hi = probes[0]
-            else:
-                lo = tuple(min(p[axis] for p in probes) for axis in dims)
-                hi = tuple(max(p[axis] for p in probes) for axis in dims)
-            candidates = self._gather_candidates(base, lo, hi)
             self.stats["queries"] += len(indices)
-            self.stats["candidates"] += len(candidates) * len(indices)
-            batch = self._store.batch(candidates)
-            refined = self._store.refine_many(
-                batch,
-                probes,
-                sq_range,
-                [queries[qi][1] for qi in indices],
-            )
-            for qi, matches in zip(indices, refined):
-                results[qi] = matches
+            if self.octant_batching and len(indices) > 1:
+                center = tuple(
+                    (base[axis] + 0.5) * side for axis in dims
+                )
+                by_octant: Dict[Tuple[bool, ...], List[int]] = {}
+                for qi in indices:
+                    coords = queries[qi][0]
+                    octant = tuple(
+                        coords[axis] >= center[axis] for axis in dims
+                    )
+                    by_octant.setdefault(octant, []).append(qi)
+                groups = list(by_octant.values())
+            else:
+                groups = [indices]
+            for group in groups:
+                probes = [queries[qi][0] for qi in group]
+                if len(probes) == 1:
+                    lo = hi = probes[0]
+                else:
+                    lo = tuple(
+                        min(p[axis] for p in probes) for axis in dims
+                    )
+                    hi = tuple(
+                        max(p[axis] for p in probes) for axis in dims
+                    )
+                candidates = self._gather_candidates(base, lo, hi)
+                self.stats["candidates"] += len(candidates) * len(group)
+                batch = self._store.batch(candidates)
+                refined = self._store.refine_many(
+                    batch,
+                    probes,
+                    sq_range,
+                    [queries[qi][1] for qi in group],
+                )
+                for qi, matches in zip(group, refined):
+                    results[qi] = matches
         return results

@@ -30,6 +30,17 @@ filter-and-refine ladder, cheapest predicate first:
    search when position-insensitive); survivors within the threshold
    are returned closest-first.
 
+When the Pattern Base carries an inverted cell-signature index
+(:mod:`repro.retrieval.inverted`) covering the query's coarse level,
+step 4 runs against precomputed posting lists and signatures instead of
+the lazily built per-pattern ladder: one posting-list accumulation per
+query, then an O(1)-to-O(histogram) certified bound per candidate —
+zero ladder walks on the hot path, and provably never rejecting a
+candidate the ladder screen would keep. The planner may additionally
+pick the index as the *entry* (``inverted``) when the feature ranges
+have no filtering power, replacing the full archive scan with the
+screen's survivor set.
+
 :meth:`MatchEngine.match_many` serves a batch of queries through one
 shared candidate gather per entry index (the union box / union MBR),
 then screens the shared pool per query — identical results to
@@ -50,7 +61,18 @@ from repro.matching.alignment import anytime_alignment_search
 from repro.matching.cell_match import cell_level_distance
 from repro.matching.metric import DistanceMetricSpec, cluster_feature_distance
 from repro.retrieval import planner
+from repro.retrieval.inverted import InvertedScreen, canonical_origin
 from repro.retrieval.queries import MatchQuery
+
+__all__ = [
+    "DEFAULT_COARSE_MARGIN",
+    "DEFAULT_LADDER_FACTOR",
+    "EngineStats",
+    "MatchEngine",
+    "MatchResult",
+    "MIN_COARSE_CELLS",
+    "canonical_origin",
+]
 
 #: Default compression rate θ of the engine's resolution ladder (the
 #: multires default; see :func:`repro.core.multires.coarsen_sgs`).
@@ -81,43 +103,27 @@ class MatchResult:
     alignment: tuple
 
 
-def canonical_origin(sgs: SGS) -> SGS:
-    """Translate an SGS so its minimum cell corner sits at the origin.
-
-    Coarsening is *phase-sensitive*: ``floor(c / θ)`` cuts the coarse
-    grid at absolute positions, so two identical clusters translated
-    relative to each other coarsen into structurally different cell
-    sets (a fine shift of 1 cannot be expressed as any integer coarse
-    shift). Position-insensitive coarse screening therefore coarsens
-    the canonicalized form — pure translations then coarsen
-    identically, and the coarse distance tracks the fine one.
-    """
-    dims = sgs.dimensions
-    mins = [min(coord[i] for coord in sgs.cells) for i in range(dims)]
-    if not any(mins):
-        return sgs
-    cells = []
-    for cell in sgs.cells.values():
-        location = tuple(c - m for c, m in zip(cell.location, mins))
-        connections = frozenset(
-            tuple(c - m for c, m in zip(conn, mins))
-            for conn in cell.connections
-        )
-        cells.append(
-            type(cell)(
-                location,
-                cell.side_length,
-                cell.population,
-                cell.status,
-                connections,
-            )
-        )
-    return SGS(
-        cells,
-        sgs.side_length,
-        level=sgs.level,
-        cluster_id=sgs.cluster_id,
-        window_index=sgs.window_index,
+def compose_query(
+    engine,
+    sgs: SGS,
+    threshold: float,
+    top_k: Optional[int] = None,
+    spec: Optional[DistanceMetricSpec] = None,
+    coarse_level: Optional[int] = None,
+    window_range: Optional[Tuple[int, int]] = None,
+) -> MatchQuery:
+    """Build a :class:`MatchQuery` from parts, filling the metric and
+    coarse entry level from an engine's defaults (shared by the plain
+    and sharded engines' ``match_sgs`` wrappers)."""
+    return MatchQuery(
+        sgs=sgs,
+        threshold=threshold,
+        top_k=top_k,
+        metric=spec if spec is not None else engine.spec,
+        window_range=window_range,
+        coarse_level=(
+            engine.coarse_level if coarse_level is None else coarse_level
+        ),
     )
 
 
@@ -133,6 +139,12 @@ class EngineStats:
     feature_filtered: int = 0
     coarse_evaluated: int = 0
     coarse_rejected: int = 0
+    #: Candidates the inverted screen accepted straight off the posting
+    #: counters, without touching their signature histograms.
+    coarse_fast_accepted: int = 0
+    #: Which coarse screen ran: "ladder", "inverted", or "" (no coarse
+    #: entry for this query).
+    coarse_screen: str = ""
     refined: int = 0
     matches: int = 0
 
@@ -160,6 +172,8 @@ class EngineStats:
             "feature_filtered": self.feature_filtered,
             "coarse_evaluated": self.coarse_evaluated,
             "coarse_rejected": self.coarse_rejected,
+            "coarse_fast_accepted": self.coarse_fast_accepted,
+            "coarse_screen": self.coarse_screen,
             "refined": self.refined,
             "matches": self.matches,
         }
@@ -187,6 +201,7 @@ class MatchEngine:
         coarse_margin: float = DEFAULT_COARSE_MARGIN,
         ladder_factor: int = DEFAULT_LADDER_FACTOR,
         min_coarse_cells: int = MIN_COARSE_CELLS,
+        use_inverted: bool = True,
     ):
         if max_alignment_expansions < 1:
             raise ValueError("max_alignment_expansions must be positive")
@@ -203,6 +218,10 @@ class MatchEngine:
         self.coarse_margin = float(coarse_margin)
         self.ladder_factor = int(ladder_factor)
         self.min_coarse_cells = int(min_coarse_cells)
+        #: When False the engine ignores any inverted cell-signature
+        #: index on the base and always screens through the lazy
+        #: ladder — the A/B escape hatch the benchmarks compare.
+        self.use_inverted = bool(use_inverted)
         self.coarse_expansions = max(8, self.max_alignment_expansions // 2)
         #: Ladder cache keyed ``(pattern_id, canonical)``: position-
         #: insensitive screens use the canonical-origin phase (see
@@ -210,6 +229,18 @@ class MatchEngine:
         #: absolute phase. Values are ``(source_sgs, [level0, ...])``;
         #: the source reference detects a swapped-out stored SGS.
         self._ladders: Dict[Tuple[int, bool], Tuple[SGS, List[SGS]]] = {}
+        # Eviction and compaction flow back through the base's removal
+        # listeners: the engine drops the dead pattern's cached ladders
+        # the moment it leaves the archive (weakly held — neither side
+        # pins the other).
+        subscribe = getattr(base, "subscribe", None)
+        if subscribe is not None:
+            subscribe(self)
+
+    def pattern_removed(self, pattern_id: int) -> None:
+        """Base removal-listener hook: invalidate the pattern's cached
+        ladders so eviction can never resurrect it from the cache."""
+        self.invalidate(pattern_id)
 
     # ------------------------------------------------------------------
     # Multi-resolution ladder cache
@@ -283,6 +314,36 @@ class MatchEngine:
     # Single-query serving
     # ------------------------------------------------------------------
 
+    def _inverted_screen_for(
+        self, query: MatchQuery
+    ) -> Optional[InvertedScreen]:
+        """The certified posting-list screen for one query, when the
+        base's inverted index covers its coarse level (position-
+        insensitive only: the canonical-origin keys normalize exactly
+        the translations that mode ignores)."""
+        if (
+            not self.use_inverted
+            or query.coarse_level <= 0
+            or query.metric.position_sensitive
+        ):
+            return None
+        index_of = getattr(self.base, "inverted_index", None)
+        index = index_of() if index_of is not None else None
+        if index is None or not index.covers(query.coarse_level):
+            return None
+        if index.factor != self.ladder_factor:
+            # A mismatched compression rate describes different coarse
+            # cells than the ladder would: stand down rather than screen
+            # against the wrong rung geometry.
+            return None
+        return InvertedScreen(
+            index,
+            query.coarse_level,
+            query.sgs,
+            query.threshold + self.coarse_margin,
+            self.min_coarse_cells,
+        )
+
     def match(
         self, query: MatchQuery
     ) -> Tuple[List[MatchResult], EngineStats]:
@@ -291,14 +352,20 @@ class MatchEngine:
         self._maybe_prune_ladders()
         features = ClusterFeatures.from_sgs(query.sgs)
         mbr = query.sgs.mbr()
-        plan = planner.plan_query(self.base, query, features, mbr)
-        candidates = planner.gather(self.base, plan)
+        screen = self._inverted_screen_for(query)
+        plan = planner.plan_query(
+            self.base, query, features, mbr, inverted=screen is not None
+        )
+        if plan.entry == planner.ENTRY_INVERTED:
+            candidates = screen.survivors(self.base)
+        else:
+            candidates = planner.gather(self.base, plan)
         stats = EngineStats(
             archive_size=len(self.base),
             plan=planner.plan_stats(plan, len(self.base), len(candidates)),
         )
         results = self._refine(
-            query, features, mbr, candidates, plan, stats
+            query, features, mbr, candidates, plan, stats, screen
         )
         return results, stats
 
@@ -313,17 +380,12 @@ class MatchEngine:
     ) -> Tuple[List[MatchResult], EngineStats]:
         """Convenience wrapper: build the :class:`MatchQuery` from parts
         (engine defaults fill the metric and coarse level)."""
-        query = MatchQuery(
-            sgs=sgs,
-            threshold=threshold,
-            top_k=top_k,
-            metric=spec if spec is not None else self.spec,
-            window_range=window_range,
-            coarse_level=(
-                self.coarse_level if coarse_level is None else coarse_level
-            ),
+        return self.match(
+            compose_query(
+                self, sgs, threshold, top_k, spec, coarse_level,
+                window_range,
+            )
         )
-        return self.match(query)
 
     # ------------------------------------------------------------------
     # Batched serving
@@ -348,12 +410,15 @@ class MatchEngine:
         for query in queries:
             features = ClusterFeatures.from_sgs(query.sgs)
             mbr = query.sgs.mbr()
-            plan = planner.plan_query(self.base, query, features, mbr)
-            prepared.append((query, features, mbr, plan))
+            screen = self._inverted_screen_for(query)
+            plan = planner.plan_query(
+                self.base, query, features, mbr, inverted=screen is not None
+            )
+            prepared.append((query, features, mbr, plan, screen))
 
         groups: Dict[str, List[int]] = {}
-        for i, (_, _, _, plan) in enumerate(prepared):
-            groups.setdefault(plan.entry, []).append(i)
+        for i, entry_plan in enumerate(prepared):
+            groups.setdefault(entry_plan[3].entry, []).append(i)
 
         pools: Dict[str, List[ArchivedPattern]] = {}
         for entry, members in groups.items():
@@ -370,12 +435,23 @@ class MatchEngine:
                     lows = [min(a, b) for a, b in zip(lows, plan.lows)]
                     highs = [max(a, b) for a, b in zip(highs, plan.highs)]
                 pools[entry] = self.base.in_feature_ranges(lows, highs)
+            elif entry == planner.ENTRY_INVERTED:
+                # Shared pool = union of the members' survivor sets;
+                # each member's refine re-applies its own (memoized)
+                # screen, so pooling never changes that query's answer.
+                pooled: Dict[int, ArchivedPattern] = {}
+                for i in members:
+                    for pattern in prepared[i][4].survivors(self.base):
+                        pooled[pattern.pattern_id] = pattern
+                pools[entry] = [
+                    pooled[pattern_id] for pattern_id in sorted(pooled)
+                ]
             else:
                 pools[entry] = list(self.base.all_patterns())
 
         out: List[Tuple[List[MatchResult], EngineStats]] = []
         shared = len(queries) > 1
-        for query, features, mbr, plan in prepared:
+        for query, features, mbr, plan, screen in prepared:
             pool = pools[plan.entry]
             stats = EngineStats(
                 archive_size=len(self.base),
@@ -385,7 +461,9 @@ class MatchEngine:
             )
             out.append(
                 (
-                    self._refine(query, features, mbr, pool, plan, stats),
+                    self._refine(
+                        query, features, mbr, pool, plan, stats, screen
+                    ),
                     stats,
                 )
             )
@@ -428,6 +506,7 @@ class MatchEngine:
         candidates: Sequence[ArchivedPattern],
         plan: planner.QueryPlan,
         stats: EngineStats,
+        screen: Optional[InvertedScreen] = None,
     ) -> List[MatchResult]:
         spec = query.metric
         threshold = query.threshold
@@ -437,9 +516,12 @@ class MatchEngine:
         )
         stats.screened = len(screened)
         canonical = not spec.position_sensitive
+        use_ladder = coarse_level > 0 and screen is None
+        if coarse_level > 0:
+            stats.coarse_screen = "ladder" if use_ladder else "inverted"
         query_ladder = (
             self._query_ladder(query.sgs, coarse_level, canonical)
-            if coarse_level > 0
+            if use_ladder
             else [query.sgs]
         )
 
@@ -451,7 +533,10 @@ class MatchEngine:
             if coarse > threshold:
                 continue
             stats.feature_filtered += 1
-            if coarse_level > 0:
+            if screen is not None:
+                if not screen.admits(pattern.pattern_id):
+                    continue
+            elif use_ladder:
                 coarse_query = query_ladder[coarse_level]
                 coarse_pattern = self.pattern_at_level(
                     pattern, coarse_level, canonical=canonical
@@ -480,6 +565,13 @@ class MatchEngine:
             if distance <= threshold:
                 results.append(MatchResult(pattern, distance, alignment))
 
+        if screen is not None:
+            # The screen's counters cover its whole lifetime for this
+            # query — gather-phase survivors and refine-phase rescreens
+            # alike (verdicts are memoized, so nothing double-counts).
+            stats.coarse_evaluated = screen.evaluated
+            stats.coarse_rejected = screen.rejected
+            stats.coarse_fast_accepted = screen.fast_accepted
         results.sort(key=lambda r: (r.distance, r.pattern.pattern_id))
         stats.matches = len(results)
         if query.top_k is not None:

@@ -11,9 +11,16 @@ way the neighbor-search providers report gathering telemetry:
 * ``feature-grid`` — position-insensitive queries range-probe the
   feature grid with the threshold-derived candidate ranges
   (Section 7.2), intersected with any explicit feature constraints;
-* ``scan`` — the fallback when an index probe cannot beat a plain
+* ``inverted`` — position-insensitive queries with a coarse entry
+  level served by the base's inverted cell-signature index
+  (:mod:`repro.retrieval.inverted`) enter through its posting lists
+  when the candidate feature ranges have no filtering power: the
+  certified coarse screen replaces the full archive walk, returning
+  only its survivors;
+* ``scan`` — the fallback when no index probe can beat a plain
   walk: a tiny archive, or candidate ranges so wide they cover every
-  occupied feature bin (no filtering power).
+  occupied feature bin (no filtering power) with no inverted index to
+  fall back on.
 
 Gathering is separated from screening so batched serving can share one
 gather across a batch: :func:`gather` hits the index once,
@@ -38,6 +45,7 @@ SCAN_CUTOFF = 8
 
 ENTRY_RTREE = "rtree"
 ENTRY_FEATURE_GRID = "feature-grid"
+ENTRY_INVERTED = "inverted"
 ENTRY_SCAN = "scan"
 
 
@@ -82,20 +90,34 @@ def plan_query(
     query: MatchQuery,
     features: ClusterFeatures,
     mbr: MBR,
+    inverted: bool = False,
 ) -> QueryPlan:
-    """Choose the entry index for one query against one archive."""
+    """Choose the entry index for one query against one archive.
+
+    ``inverted`` declares that the caller can serve this query through
+    the base's inverted cell-signature index (the engine checks
+    coverage, mode, and rung geometry before offering it); the planner
+    then prefers it over a filtering-power-less scan.
+    """
     if query.metric.position_sensitive:
         return QueryPlan(ENTRY_RTREE, mbr=mbr)
     lows, highs = constraint_bounds(query, features)
     if len(base) <= SCAN_CUTOFF:
         return QueryPlan(ENTRY_SCAN, lows=lows, highs=highs)
     if base.feature_index().covers_occupied_extent(lows, highs):
+        if inverted:
+            return QueryPlan(ENTRY_INVERTED, lows=lows, highs=highs)
         return QueryPlan(ENTRY_SCAN, lows=lows, highs=highs)
     return QueryPlan(ENTRY_FEATURE_GRID, lows=lows, highs=highs)
 
 
 def gather(base: PatternBase, plan: QueryPlan) -> List[ArchivedPattern]:
-    """Execute a plan's index probe; returns the candidate superset."""
+    """Execute a plan's index probe; returns the candidate superset.
+
+    The ``inverted`` entry is executed by the engine itself (its screen
+    holds the per-query posting counters); asked here, it degrades to
+    the full walk the screen would otherwise replace.
+    """
     if plan.entry == ENTRY_RTREE:
         return base.overlapping(plan.mbr)
     if plan.entry == ENTRY_FEATURE_GRID:

@@ -29,6 +29,7 @@ from repro.core.sgs import SGS
 from repro.matching.metric import DistanceMetricSpec
 from repro.retrieval.engine import EngineStats, MatchEngine
 from repro.retrieval.queries import MatchQuery
+from repro.retrieval.shards import ShardedPatternBase
 from repro.streams.objects import StreamObject
 from repro.streams.windows import WindowSpec
 from repro.system.extractor import PatternExtractor
@@ -51,6 +52,9 @@ class StreamPatternMiningSystem:
         refinement: Optional[str] = None,
         match_coarse_level: Optional[int] = None,
         match_max_expansions: Optional[int] = None,
+        match_shards: Optional[int] = None,
+        match_shard_key: Optional[str] = None,
+        match_inverted_levels: Optional[Sequence[int]] = None,
     ):
         self.extractor = PatternExtractor(
             theta_range,
@@ -60,13 +64,28 @@ class StreamPatternMiningSystem:
             index_backend=index_backend,
             refinement=refinement,
         )
-        self.pattern_base = PatternBase()
+        shards = 1 if match_shards is None else int(match_shards)
+        shard_key = "window" if match_shard_key is None else match_shard_key
+        inverted_levels = (
+            tuple(match_inverted_levels) if match_inverted_levels else None
+        )
+        if shards > 1:
+            self.pattern_base = ShardedPatternBase(
+                shards, shard_key, inverted_levels=inverted_levels
+            )
+        else:
+            self.pattern_base = PatternBase(
+                inverted_levels=inverted_levels
+            )
         self.archiver = PatternArchiver(
             self.pattern_base,
             policy=archive_policy,
             level=archive_level,
             byte_budget_per_cluster=archive_byte_budget,
         )
+        # The analyzer builds the engine matching the base: a
+        # ShardedMatchEngine over a partitioned archive, a plain
+        # MatchEngine otherwise.
         self.analyzer = PatternAnalyzer(
             self.pattern_base,
             metric,
@@ -80,7 +99,9 @@ class StreamPatternMiningSystem:
 
     @property
     def engine(self) -> MatchEngine:
-        """The matching-query engine serving this system's archive."""
+        """The matching-query engine serving this system's archive (a
+        :class:`~repro.retrieval.shards.ShardedMatchEngine` when the
+        archive is partitioned)."""
         return self.analyzer.engine
 
     @classmethod
@@ -105,6 +126,9 @@ class StreamPatternMiningSystem:
             "refinement",
             "match_coarse_level",
             "match_max_expansions",
+            "match_shards",
+            "match_shard_key",
+            "match_inverted_levels",
         ):
             if kwargs.get(name) is None:
                 kwargs[name] = getattr(query, name)

@@ -42,6 +42,14 @@ def main() -> int:
         f"wrote {workload.MATCH_PATH} ({len(text)} bytes, "
         f"{len(match_trace)} queries, {matches} matches)"
     )
+    sharded_trace = workload.run_sharded_match_trace()
+    text = workload.render(sharded_trace)
+    workload.SHARDED_MATCH_PATH.write_text(text)
+    matches = sum(len(entry["matches"]) for entry in sharded_trace)
+    print(
+        f"wrote {workload.SHARDED_MATCH_PATH} ({len(text)} bytes, "
+        f"{len(sharded_trace)} sharded queries, {matches} matches)"
+    )
     return 0
 
 

@@ -37,7 +37,12 @@ from repro.archive.persistence import load_pattern_base, roundtrip_bytes
 from repro.core.csgs import CSGS
 from repro.data.stt import STTStream
 from repro.matching.metric import DistanceMetricSpec
-from repro.retrieval import MatchEngine, MatchQuery
+from repro.retrieval import (
+    MatchEngine,
+    MatchQuery,
+    ShardedMatchEngine,
+    ShardedPatternBase,
+)
 from repro.streams.source import ListSource
 from repro.streams.windows import CountBasedWindowSpec, Windower
 
@@ -235,4 +240,108 @@ def run_match_trace(case: GoldenCase = _SMALL) -> List[dict]:
             ],
         }
     )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# The golden sharded-serving workload (fourth fixture)
+# ----------------------------------------------------------------------
+
+#: Fixture pinning partition-parallel ``match_many`` serving — both
+#: partition keys over a *persisted format-v3* archive (inverted
+#: cell-signature index at rung 1 maintained during archival) — byte
+#: for byte. The per-query matches must equal the single-engine
+#: answers of ``archive_matches_stt.json`` exactly: sharding and the
+#: inverted screen are pure execution strategy, never semantics.
+SHARDED_MATCH_PATH = Path(__file__).with_name(
+    "archive_matches_sharded.json"
+)
+
+#: Shard counts pinned per partition key (the oracle suite covers the
+#: wider {1, 2, 4} × key matrix; the fixture pins bytes for these).
+SHARDED_COUNTS = (2, 3)
+
+
+def build_sharded_v3_archive(case: GoldenCase = _SMALL) -> PatternBase:
+    """The canonical workload archived *with* the inverted index, then
+    round-tripped through format v3 — the flat base every pinned shard
+    layout partitions."""
+    base = PatternBase(inverted_levels=(1,))
+    archiver = PatternArchiver(base)
+    csgs = CSGS(case.theta_range, case.theta_count, DIMENSIONS)
+    spec = CountBasedWindowSpec(win=case.win, slide=case.slide)
+    for batch in Windower(spec).batches(ListSource(workload_points(case))):
+        archiver.archive_output(csgs.process_batch(batch))
+    return load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+
+
+def _sharded_query_panel(base) -> List[dict]:
+    """The same (query, mode, coarse, threshold, top) combinations the
+    single-engine match fixture pins, as a flat parameter list."""
+    pattern_ids = sorted(p.pattern_id for p in base.all_patterns())
+    query_ids = [pattern_ids[0], pattern_ids[len(pattern_ids) // 2]]
+    specs = {
+        "feature": DistanceMetricSpec(),
+        "positional": DistanceMetricSpec(position_sensitive=True),
+    }
+    panel = []
+    for query_id in query_ids:
+        for mode, spec in sorted(specs.items()):
+            for coarse in (0, 1):
+                for threshold, top_k in ((0.2, None), (0.5, 5)):
+                    panel.append(
+                        {
+                            "query": query_id,
+                            "mode": mode,
+                            "coarse": coarse,
+                            "threshold": threshold,
+                            "top": top_k,
+                            "spec": spec,
+                        }
+                    )
+    return panel
+
+
+def run_sharded_match_trace(case: GoldenCase = _SMALL) -> List[dict]:
+    """Canonical results of batched sharded serving, per partition key
+    and pinned shard count."""
+    flat = build_sharded_v3_archive(case)
+    panel = _sharded_query_panel(flat)
+    trace: List[dict] = []
+    for key in ("window", "feature"):
+        for shards in SHARDED_COUNTS:
+            sharded = ShardedPatternBase.from_base(flat, shards, key)
+            engine = ShardedMatchEngine(sharded)
+            queries = [
+                MatchQuery(
+                    sgs=flat.get(entry["query"]).sgs,
+                    threshold=entry["threshold"],
+                    top_k=entry["top"],
+                    metric=entry["spec"],
+                    coarse_level=entry["coarse"],
+                )
+                for entry in panel
+            ]
+            for entry, (results, stats) in zip(
+                panel, engine.match_many(queries)
+            ):
+                trace.append(
+                    {
+                        "key": key,
+                        "shards": shards,
+                        "query": entry["query"],
+                        "mode": entry["mode"],
+                        "coarse": entry["coarse"],
+                        "threshold": entry["threshold"],
+                        "top": entry["top"],
+                        "entries": stats.plan["entries"],
+                        "gathered": stats.gathered,
+                        "refined": stats.refined,
+                        "coarse_screen": stats.coarse_screen,
+                        "matches": [
+                            [r.pattern.pattern_id, round(r.distance, 12)]
+                            for r in results
+                        ],
+                    }
+                )
     return trace

@@ -95,3 +95,44 @@ def test_validation():
         RetentionManager(PatternBase(), max_bytes=0)
     with pytest.raises(ValueError):
         RetentionManager(PatternBase(), dedup_threshold=1.5)
+
+
+def test_eviction_invalidates_engine_caches():
+    """Regression: maintenance eviction must flow through to matching
+    engines — the evicted pattern's cached ladders and posting lists
+    are dropped immediately, so no stale cache can resurrect it.
+    (Before the removal-listener seam, a long-lived engine kept the
+    dead pattern's ladders until an amortized sweep much later.)"""
+    from repro.retrieval import MatchEngine, MatchQuery
+
+    base = PatternBase(inverted_levels=(1,))
+    manager = RetentionManager(base, max_patterns=4)
+    summaries = _summaries(seed=6)
+    engine = MatchEngine(base, use_inverted=False)
+    inverted_engine = MatchEngine(base)
+    for sgs, size in summaries[:6]:
+        manager.add(sgs, size)
+    # Build ladder caches (both engines) over the current archive.
+    query = MatchQuery(sgs=summaries[0][0], threshold=0.9, coarse_level=1)
+    engine.match(query)
+    cached_ids = {key[0] for key in engine._ladders}
+    assert cached_ids, "test needs cached ladders to evict from"
+    # Admit more patterns: the retention manager evicts the oldest.
+    for sgs, size in summaries[6:]:
+        manager.add(sgs, size)
+    assert manager.evicted > 0
+    evicted_ids = cached_ids - {p.pattern_id for p in base.all_patterns()}
+    assert evicted_ids, "eviction must have hit a cached pattern"
+    index = base.inverted_index()
+    for pattern_id in evicted_ids:
+        # The ladder cache forgot the pattern the moment it left...
+        assert all(key[0] != pattern_id for key in engine._ladders), (
+            "stale ladder survived eviction"
+        )
+        # ...and so did the posting lists.
+        assert pattern_id not in index
+    # No query — through either screen — can resurrect an evicted id.
+    live = {p.pattern_id for p in base.all_patterns()}
+    for probe in (engine, inverted_engine):
+        results, _ = probe.match(query)
+        assert {r.pattern.pattern_id for r in results} <= live

@@ -154,3 +154,99 @@ def test_engine_caches_survive_reload():
     loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
     fresh = MatchEngine(loaded)
     assert fresh.warm_ladders() == hints
+
+
+# ----------------------------------------------------------------------
+# Format v3: the persisted inverted cell-signature index
+# ----------------------------------------------------------------------
+
+
+def _populated_inverted(seed=9, levels=(1, 2)):
+    base, last = _populated(seed=seed)
+    base.enable_inverted(levels)
+    return base, last
+
+
+def test_v3_roundtrip_restores_inverted_index():
+    base, _ = _populated_inverted()
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    original = base.inverted_index()
+    restored = loaded.inverted_index()
+    assert restored is not None
+    assert restored.levels == original.levels
+    assert restored.factor == original.factor
+    assert len(restored) == len(original)
+    for pattern in base.all_patterns():
+        for level in original.levels:
+            assert restored.signature(
+                pattern.pattern_id, level
+            ).cells == original.signature(pattern.pattern_id, level).cells
+
+
+def test_v3_dump_is_byte_stable():
+    base, _ = _populated_inverted(seed=10)
+    blob = roundtrip_bytes(base)
+    assert roundtrip_bytes(load_pattern_base(io.BytesIO(blob))) == blob
+
+
+def test_v3_without_inverted_has_no_index():
+    base, _ = _populated(seed=11)
+    loaded = load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    assert loaded.inverted_index() is None
+
+
+def test_v2_archive_still_loads_and_rebuilds_inverted():
+    """A version-2 file (no inverted section) restores cold; enabling
+    the index rebuilds signatures identical to an always-on archive."""
+    import struct
+
+    from repro.core.serialize import sgs_to_bytes
+
+    base, _ = _populated_inverted(seed=12, levels=(1,))
+    patterns = sorted(base.all_patterns(), key=lambda p: p.pattern_id)
+    out = [b"SGSA", struct.pack("<II", 2, len(patterns))]
+    for pattern in patterns:
+        blob = sgs_to_bytes(pattern.sgs)
+        out.append(
+            struct.pack(
+                "<IIBI",
+                pattern.pattern_id,
+                pattern.full_size,
+                pattern.ladder_hint,
+                len(blob),
+            )
+        )
+        out.append(blob)
+    loaded = load_pattern_base(io.BytesIO(b"".join(out)))
+    assert len(loaded) == len(base)
+    assert loaded.inverted_index() is None
+    rebuilt = loaded.enable_inverted((1,))
+    original = base.inverted_index()
+    for pattern in patterns:
+        assert rebuilt.signature(
+            pattern.pattern_id, 1
+        ).cells == original.signature(pattern.pattern_id, 1).cells
+
+
+def test_truncated_inverted_section_rejected():
+    base, _ = _populated_inverted(seed=13)
+    blob = roundtrip_bytes(base)
+    with pytest.raises(ValueError):
+        load_pattern_base(io.BytesIO(blob[:-5]))
+
+
+def test_sharded_base_dump_equals_flat_dump():
+    """Persisting a sharded archive writes the same bytes as the flat
+    archive it partitions (patterns serialize in id order either way),
+    so shard layout is a serving-time choice, not a storage format."""
+    from repro.retrieval import ShardedPatternBase
+
+    base, _ = _populated_inverted(seed=14, levels=(1,))
+    flat = roundtrip_bytes(base)
+    for key in ("window", "feature"):
+        sharded = ShardedPatternBase.from_base(base, 3, key)
+        assert roundtrip_bytes(sharded) == flat
+    loaded = load_pattern_base(io.BytesIO(flat))
+    resharded = ShardedPatternBase.from_base(loaded, 2, "window")
+    assert len(resharded) == len(base)
+    assert resharded.inverted_index() is not None

@@ -253,3 +253,99 @@ def test_match_reports_invalid_query_cleanly(tmp_path, capsys):
         ]
     ) == 1
     assert "invalid matching query" in capsys.readouterr().err
+
+
+def test_run_persists_inverted_index_and_match_serves_sharded(
+    tmp_path, capsys
+):
+    """End to end through the new serving flags: `run --inverted-levels`
+    persists a v3 archive whose index `match` reuses, and
+    `--shards`/`--shard-key` fan the query out with identical answers
+    to the single-shard invocation."""
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1500", "--seed", "4", "--out",
+          str(stream_csv)])
+    assert main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "500", "--slide", "250",
+            "--archive", str(archive), "--inverted-levels", "1",
+        ]
+    ) == 0
+    capsys.readouterr()
+
+    from repro.archive.persistence import load_pattern_base
+
+    index = load_pattern_base(str(archive)).inverted_index()
+    assert index is not None and index.levels == (1,)
+
+    single_args = [
+        "match", "--archive", str(archive), "--pattern", "0",
+        "--threshold", "0.6", "--top", "5", "--coarse-level", "1",
+        "--inverted-levels", "1",
+    ]
+    assert main(single_args) == 0
+    single_out = capsys.readouterr().out
+    assert main(
+        single_args + ["--shards", "2", "--shard-key", "feature"]
+    ) == 0
+    sharded_out = capsys.readouterr().out
+    assert "shards=2" in sharded_out
+    # Identical ranked matches, line for line.
+    single_matches = [
+        line for line in single_out.splitlines() if line.startswith("#")
+    ]
+    sharded_matches = [
+        line for line in sharded_out.splitlines() if line.startswith("#")
+    ]
+    assert single_matches == sharded_matches
+
+
+def test_bad_inverted_levels_rejected(tmp_path, capsys):
+    stream_csv = tmp_path / "stream.csv"
+    main(["generate", "--count", "800", "--out", str(stream_csv)])
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run", "--input", str(stream_csv), "--theta-range", "0.3",
+                "--theta-count", "5", "--win", "400", "--slide", "200",
+                "--inverted-levels", "zero",
+            ]
+        )
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run", "--input", str(stream_csv), "--theta-range", "0.3",
+                "--theta-count", "5", "--win", "400", "--slide", "200",
+                "--inverted-levels", "0",
+            ]
+        )
+
+
+def test_inverted_levels_noop_without_coarse_level(tmp_path, capsys):
+    """`match --inverted-levels` without a coarse entry level skips the
+    archive-wide rebuild and says so, instead of silently doing work
+    the query can never use."""
+    stream_csv = tmp_path / "stream.csv"
+    archive = tmp_path / "history.sgsa"
+    main(["generate", "--count", "1200", "--seed", "6", "--out",
+          str(stream_csv)])
+    main(
+        [
+            "run", "--input", str(stream_csv), "--theta-range", "0.3",
+            "--theta-count", "5", "--win", "400", "--slide", "200",
+            "--archive", str(archive),
+        ]
+    )
+    capsys.readouterr()
+    assert main(
+        [
+            "match", "--archive", str(archive), "--pattern", "0",
+            "--threshold", "0.4", "--inverted-levels", "1",
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "has no effect without" in captured.err
+    assert "matches" in captured.out

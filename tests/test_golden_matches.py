@@ -61,3 +61,63 @@ def test_golden_match_fixture_is_nontrivial(golden_text):
         assert all(m == match_lists[0] for m in match_lists), (
             f"coarse entry changed answers for {key}"
         )
+
+
+# ----------------------------------------------------------------------
+# The sharded-serving fixture
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sharded_golden_text():
+    assert workload.SHARDED_MATCH_PATH.exists(), (
+        "golden fixture archive_matches_sharded.json missing; run "
+        "`PYTHONPATH=src python tests/golden/regen_golden.py`"
+    )
+    return workload.SHARDED_MATCH_PATH.read_text()
+
+
+def test_sharded_engine_reproduces_golden_output(sharded_golden_text):
+    """Partition-parallel ``match_many`` over the persisted v3 archive
+    must stay byte-stable — shard planning, the per-shard inverted
+    screens, the thread-pooled fan-out, and the deterministic merge all
+    sit under this pin."""
+    got = workload.render(workload.run_sharded_match_trace())
+    assert got == sharded_golden_text, (
+        "sharded serving diverged from the golden output"
+    )
+
+
+def test_sharded_golden_matches_single_engine_fixture(
+    golden_text, sharded_golden_text
+):
+    """Sharding is execution strategy, not semantics: for every pinned
+    (query, mode, coarse, threshold, top) combination, every shard
+    layout's matches must equal the single-engine fixture's matches."""
+    single = {
+        (
+            item["query"], item["mode"], item["coarse"],
+            item["threshold"], item["top"],
+        ): item["matches"]
+        for item in json.loads(golden_text)
+        if "windows" not in item
+    }
+    sharded = json.loads(sharded_golden_text)
+    assert len(sharded) >= 32
+    layouts = {(item["key"], item["shards"]) for item in sharded}
+    assert len(layouts) >= 4, "fixture must pin several shard layouts"
+    for item in sharded:
+        key = (
+            item["query"], item["mode"], item["coarse"],
+            item["threshold"], item["top"],
+        )
+        assert item["matches"] == single[key], (
+            f"sharded layout {item['key']}x{item['shards']} diverged "
+            f"from the single engine on {key}"
+        )
+        assert len(item["entries"]) == item["shards"]
+    assert any(item["matches"] for item in sharded)
+    # The inverted screen actually served the coarse feature queries.
+    assert any(
+        item["coarse_screen"] == "inverted" for item in sharded
+    ), "no pinned query exercised the inverted screen"
