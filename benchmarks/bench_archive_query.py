@@ -34,7 +34,7 @@ from __future__ import annotations
 import random
 import time
 
-from common import WIN, report, stt_points
+from common import WIN, emit_bench_record, report, stt_points
 from repro.archive.archiver import PatternArchiver
 from repro.archive.pattern_base import PatternBase
 from repro.core.csgs import CSGS
@@ -218,6 +218,22 @@ def test_archive_query_engine_examines_fewer(benchmark):
         f"{t_exhaustive / max(t_batched, 1e-9):.2f}x",
     )
     report(table.render())
+    for mode, wall, examined in (
+        ("exhaustive", t_exhaustive, exhaustive_examined),
+        ("engine", t_engine, engine_examined),
+        ("engine+coarse", t_coarse, coarse_examined),
+        ("engine+batched", t_batched, engine_examined),
+    ):
+        emit_bench_record(
+            "query",
+            "archive_query_panel",
+            mode=mode,
+            wall_time_s=round(wall, 6),
+            candidates_examined=examined,
+            archive_size=len(base),
+            queries=len(queries),
+            threshold=THRESHOLD,
+        )
 
     assert engine_pairs == exhaustive_pairs, (
         "engine answers diverged from the exhaustive scan"

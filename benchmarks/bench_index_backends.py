@@ -26,7 +26,15 @@ import time
 
 import pytest
 
-from common import SLIDES, STT_CASES, WIN, batches_over, report, stt_points
+from common import (
+    SLIDES,
+    STT_CASES,
+    WIN,
+    batches_over,
+    emit_bench_record,
+    report,
+    stt_points,
+)
 from repro.core.csgs import CSGS
 from repro.eval.harness import Table, fmt_seconds
 from repro.geometry.coordstore import HAVE_NUMPY
@@ -110,6 +118,18 @@ def test_index_backends_report(benchmark):
             *[fmt_seconds(results[b][0]) for b in available_backends()],
             results["grid"][1][-1],
         )
+        for backend in available_backends():
+            avg_time, _, per_probe = results[backend]
+            emit_bench_record(
+                "query",
+                "index_backends",
+                backend=backend,
+                theta_range=case[0],
+                theta_count=case[1],
+                slide=slide,
+                wall_time_s=round(avg_time, 6),
+                candidates_examined=round(per_probe, 2),
+            )
     report(table.render())
     benchmark.pedantic(
         lambda: _run_backend("grid", STT_CASES[1], SLIDES[1]),

@@ -11,7 +11,11 @@ them alongside pytest-benchmark's own timings.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 import time
+from datetime import datetime, timezone
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.clustering.extra_n import ExtraN
@@ -46,6 +50,54 @@ def report(text: str) -> None:
     immediately for non-pytest callers)."""
     REPORT_LINES.append(text)
     print(text)
+
+
+#: Repository root — where the machine-readable trajectory files live.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_COMMIT_CACHE: List[str] = []
+
+
+def _current_commit() -> str:
+    if not _COMMIT_CACHE:
+        try:
+            _COMMIT_CACHE.append(
+                subprocess.run(
+                    ["git", "rev-parse", "--short", "HEAD"],
+                    cwd=REPO_ROOT,
+                    capture_output=True,
+                    text=True,
+                    timeout=10,
+                    check=True,
+                ).stdout.strip()
+            )
+        except Exception:
+            _COMMIT_CACHE.append("unknown")
+    return _COMMIT_CACHE[0]
+
+
+def emit_bench_record(stem: str, workload: str, **fields) -> dict:
+    """Append one machine-readable benchmark record to the repo-root
+    trajectory file ``BENCH_<stem>.json`` (JSON Lines: one record per
+    line, so successive runs — and successive commits — accumulate a
+    perf trajectory that plots straight from the file).
+
+    Every record carries the current commit, a UTC timestamp, and the
+    workload name; callers add the measurements (wall time, candidates
+    examined, mode, ...). The record is returned for reuse.
+    """
+    record = {
+        "commit": _current_commit(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "workload": workload,
+        **fields,
+    }
+    path = os.path.join(REPO_ROOT, f"BENCH_{stem}.json")
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
 
 
 _STT_CACHE: Dict[Tuple[int, int], List[Tuple[float, ...]]] = {}

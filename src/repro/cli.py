@@ -8,6 +8,10 @@ Subcommands:
   optionally persist the resulting Pattern Base;
 * ``match`` — load a persisted Pattern Base and run a Cluster Matching
   Query for a pattern id or an SGS JSON file;
+* ``serve`` — keep a persisted Pattern Base resident behind a JSON-over-
+  HTTP service (``/ingest``, ``/match``, ``/match_many``, ``/stats``,
+  ``/healthz``), with the deployment mode — in-process serial, thread
+  pool, or process-per-shard workers — selected by ``--mode``;
 * ``show`` — render an archived pattern as ASCII art (2-D only).
 
 Examples::
@@ -17,6 +21,8 @@ Examples::
         --theta-count 8 --win 2000 --slide 500 --archive history.sgsa
     python -m repro.cli match --archive history.sgsa --pattern 12 \
         --threshold 0.25 --top 5
+    python -m repro.cli serve --archive history.sgsa --shards 4 \
+        --mode process --port 8765
     python -m repro.cli show --archive history.sgsa --pattern 12
 """
 
@@ -42,6 +48,7 @@ from repro.retrieval import (
     ShardedMatchEngine,
     ShardedPatternBase,
 )
+from repro.serving import MODES
 from repro.streams.objects import StreamObject
 from repro.streams.windows import CountBasedWindowSpec, TimeBasedWindowSpec
 from repro.system.framework import StreamPatternMiningSystem
@@ -183,11 +190,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
         # Legacy (v1/v2) archive, or one persisted with different
         # rungs: rebuild the inverted index at the requested rungs.
         base.enable_inverted(inverted_levels)
-    if args.shards > 1:
+    if args.shards > 1 or args.mode:
         sharded = ShardedPatternBase.from_base(
             base, args.shards, args.shard_key
         )
-        engine = ShardedMatchEngine(sharded, _metric_from_args(args))
+        engine = ShardedMatchEngine(
+            sharded, _metric_from_args(args), mode=args.mode
+        )
     else:
         engine = MatchEngine(base, _metric_from_args(args))
     engine.warm_ladders()
@@ -203,7 +212,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"invalid matching query: {error}", file=sys.stderr)
         return 1
-    results, stats = engine.match(query)
+    try:
+        results, stats = engine.match(query)
+    finally:
+        engine.close()
     shard_note = ""
     if args.shards > 1:
         entries = "+".join(stats.plan.get("entries", []))
@@ -222,6 +234,38 @@ def _cmd_match(args: argparse.Namespace) -> int:
             f"(window {result.pattern.window_index}) distance "
             f"{result.distance:.4f}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.httpd import make_server
+    from repro.serving.service import MatchService
+
+    service = MatchService.from_archive(
+        args.archive,
+        shards=args.shards,
+        shard_key=args.shard_key,
+        spec=_metric_from_args(args),
+        mode=args.mode,
+        coarse_level=args.coarse_level,
+        inverted_levels=_parse_inverted_levels(args.inverted_levels) or None,
+    )
+    server, host, port = make_server(service, args.host, args.port)
+    # One parseable line, flushed before serving: tests and scripts
+    # read the bound port from it (important with --port 0).
+    print(
+        f"serving {len(service.base)} patterns "
+        f"(shards={service.base.shard_count}, mode={service.mode}) "
+        f"on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -329,7 +373,49 @@ def build_parser() -> argparse.ArgumentParser:
         "index at these rungs (rebuilt if the archive file predates "
         "format v3 or was persisted with different rungs)",
     )
+    match.add_argument(
+        "--mode", choices=MODES, default=None,
+        help="deployment mode of the sharded execution (serial / "
+        "thread / process); default: thread when --shards > 1",
+    )
     match.set_defaults(func=_cmd_match)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a persisted archive over JSON/HTTP (always-on)",
+    )
+    serve.add_argument("--archive", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 = let the OS pick; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the loaded archive into this many shards",
+    )
+    serve.add_argument(
+        "--shard-key", choices=PARTITION_KEYS, default="window",
+    )
+    serve.add_argument(
+        "--mode", choices=MODES, default=None,
+        help="deployment mode: serial (in-process), thread (persistent "
+        "pool), process (one worker per shard, hydrated from shard "
+        "dumps, restart-on-crash); default: serial/thread by shard "
+        "count",
+    )
+    serve.add_argument("--position-sensitive", action="store_true")
+    serve.add_argument(
+        "--coarse-level", type=int, default=0,
+        help="multi-resolution entry level served for queries that "
+        "don't set their own",
+    )
+    serve.add_argument(
+        "--inverted-levels", default=None, metavar="L1,L2",
+        help="ensure the inverted cell-signature index exists at these "
+        "rungs before serving",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     show = sub.add_parser("show", help="display an archived pattern")
     show.add_argument("--archive", required=True)

@@ -20,6 +20,7 @@ from repro.geometry.coordstore import validate_refinement
 from repro.index.provider import validate_backend
 from repro.matching.metric import DistanceMetricSpec
 from repro.retrieval.shards import validate_partition_key
+from repro.serving.executors import validate_mode
 from repro.streams.windows import (
     CountBasedWindowSpec,
     TimeBasedWindowSpec,
@@ -64,6 +65,11 @@ class ContinuousClusteringQuery:
     #: the partition key (``window`` / ``feature``).
     match_shards: int = 1
     match_shard_key: str = "window"
+    #: Deployment mode of the sharded execution (``serial`` /
+    #: ``thread`` / ``process``; ``None`` = serial/thread by shard
+    #: count — see :mod:`repro.serving`). Only meaningful with
+    #: ``match_shards`` > 1.
+    match_mode: Optional[str] = None
     #: Coarse rungs of the inverted cell-signature index maintained
     #: during archival (empty = no inverted index).
     match_inverted_levels: Tuple[int, ...] = ()
@@ -82,6 +88,8 @@ class ContinuousClusteringQuery:
         if self.match_shards < 1:
             raise ValueError("match_shards must be positive")
         validate_partition_key(self.match_shard_key)
+        if self.match_mode is not None:
+            validate_mode(self.match_mode)
         self.match_inverted_levels = tuple(
             int(level) for level in self.match_inverted_levels
         )

@@ -294,6 +294,18 @@ class MatchEngine:
             len(ladder) - 1 for _, ladder in self._ladders.values()
         )
 
+    def close(self) -> None:
+        """Release owned resources — nothing for the in-process engine;
+        present so a single-shard engine and the sharded facade (whose
+        executors hold thread pools or worker processes) share one
+        lifecycle surface."""
+
+    def __enter__(self) -> "MatchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _maybe_prune_ladders(self) -> None:
         """Drop ladders of patterns evicted from the base.
 

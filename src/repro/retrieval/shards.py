@@ -1,9 +1,10 @@
-"""Partition-parallel serving of the Pattern Base.
+"""Partitioning and planning of the sharded Pattern Base.
 
 One Pattern Base answers one query at a time over one index. Heavy
 multi-query traffic wants the classic database answer: *partition* the
 archive into shards, plan and execute per shard, and merge. This module
-provides both halves:
+provides the partitioning and planning halves; **where the shard work
+runs** lives behind the deployment seam in :mod:`repro.serving`:
 
 * :class:`ShardedPatternBase` — an archive partitioned over N plain
   :class:`~repro.archive.pattern_base.PatternBase` shards behind the
@@ -14,27 +15,33 @@ provides both halves:
   natural key for history-range queries) or by **feature-grid region**
   (a deterministic mix of the pattern's non-locational feature bins —
   the natural key for similarity workloads).
-* :class:`ShardedMatchEngine` — one
-  :class:`~repro.retrieval.engine.MatchEngine` per shard. Every query
-  is planned *per shard* (a shard with selective local ranges probes
-  its feature grid while a sibling scans), ``match`` / ``match_many``
-  fan out across shards on a thread-pool executor (serial fallback for
-  one shard or ``max_workers <= 1``) and the per-shard results merge
-  deterministically: concatenate, sort by ``(distance, pattern_id)``
-  (the same stable tie-break the single engine uses), cut to ``top_k``
-  after the merge. Distances are per-pattern computations independent
-  of placement, so the merged output is **identical** to a single
-  unsharded engine's — the oracle equivalence suite and the sharded
-  golden fixture pin it byte for byte.
+* :class:`ShardedMatchEngine` — a thin facade: one
+  :class:`~repro.retrieval.engine.MatchEngine` per shard (every query
+  is planned *per shard* — a shard with selective local ranges probes
+  its feature grid while a sibling scans), one owned
+  :class:`~repro.serving.executors.ShardExecutor` deciding where the
+  per-shard work runs (``serial`` in-process, ``thread`` on a
+  persistent lifecycle-managed pool, ``process`` on multiprocessing
+  workers hydrated from format-v3 shard dumps), and the deterministic
+  merge of :mod:`repro.serving.merge`: concatenate, sort by
+  ``(distance, pattern_id)`` (the same stable tie-break the single
+  engine uses), cut to ``top_k`` after the merge. Distances are
+  per-pattern computations independent of placement, so the merged
+  output is **identical** to a single unsharded engine's — and
+  identical across executors — which the oracle equivalence suite,
+  the executor-parity suite, and the sharded golden fixture pin byte
+  for byte.
 
-Per-query stats aggregate provider-style: the plan reports
-``entry="sharded"`` with the shard count and each shard's own entry
-choice, and the phase counters are sums over shards.
+The facade owns its executor: construct with ``mode=`` (or let
+``max_workers`` pick the historical serial/thread default), ``close()``
+it — or use the engine as a context manager — when done. Per-query
+stats aggregate provider-style: the plan reports ``entry="sharded"``
+with the shard count and each shard's own entry choice, and the phase
+counters are sums over shards.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.archive.pattern_base import (
@@ -62,7 +69,9 @@ PARTITION_KEY_WINDOW = "window"
 PARTITION_KEY_FEATURE = "feature"
 PARTITION_KEYS = (PARTITION_KEY_WINDOW, PARTITION_KEY_FEATURE)
 
-#: Plan-entry label of a merged sharded execution.
+#: Plan-entry label of a merged sharded execution (canonically defined
+#: in :mod:`repro.serving.merge`; mirrored here for callers of the
+#: planning layer that never touch the serving package).
 ENTRY_SHARDED = "sharded"
 
 # Large odd multipliers for the feature-region mix (the classic spatial
@@ -266,6 +275,12 @@ class ShardedPatternBase:
             return None
         return self._shards[index]
 
+    def shard_index_of(self, pattern_id: int) -> Optional[int]:
+        """The shard index currently owning a pattern (None when the
+        pattern is not archived) — how the serving layer routes an
+        ingest to the one worker whose shard changed."""
+        return self._owner.get(pattern_id)
+
     @property
     def shard_count(self) -> int:
         return len(self._shards)
@@ -366,10 +381,22 @@ class ShardedMatchEngine:
     The constructor builds one :class:`MatchEngine` per shard with
     identical configuration; each engine plans its own shard (entry
     choices may differ per shard) and screens with its shard's own
-    inverted index and ladder cache. ``max_workers`` bounds the thread
-    pool (default: one thread per shard); ``0``/``1`` forces the serial
-    path — useful under contention or for deterministic profiling.
-    Either way the merged answers are identical.
+    inverted index and ladder cache. Execution goes through one owned
+    :class:`~repro.serving.executors.ShardExecutor` for the facade's
+    lifetime:
+
+    * ``mode`` picks the deployment mode explicitly (``"serial"`` /
+      ``"thread"`` / ``"process"``);
+    * without ``mode``, ``max_workers`` keeps the historical default —
+      the persistent thread pool for a multi-shard archive, the serial
+      path for one shard or ``max_workers <= 1`` (useful under
+      contention or for deterministic profiling);
+    * ``executor`` injects a prebuilt executor (the facade then does
+      not own its lifecycle).
+
+    Whatever runs the shards, the merged answers are identical. Call
+    :meth:`close` (or use the engine as a context manager) to release
+    the owned executor — its thread pool or worker processes.
     """
 
     def __init__(
@@ -383,7 +410,16 @@ class ShardedMatchEngine:
         min_coarse_cells: int = MIN_COARSE_CELLS,
         use_inverted: bool = True,
         max_workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        executor=None,
     ):
+        # Imported here, not at module level: repro.serving sits above
+        # the retrieval layer and imports the engine, so a top-level
+        # import would be circular.
+        from repro.serving.executors import build_executor
+        from repro.serving.merge import merge_shard_results
+
+        self._merge_results = merge_shard_results
         self.base = base
         self.engines = [
             MatchEngine(
@@ -406,81 +442,79 @@ class ShardedMatchEngine:
         if max_workers is None:
             max_workers = len(self.engines)
         self.max_workers = max(0, int(max_workers))
+        if executor is not None:
+            self._executor = executor
+            self._owns_executor = False
+        else:
+            self._executor = build_executor(
+                mode,
+                self.engines,
+                base=base,
+                max_workers=self.max_workers,
+                worker_config={
+                    "metric": {
+                        "position_sensitive": self.spec.position_sensitive,
+                        "weights": dict(self.spec.weights),
+                    },
+                    "max_alignment_expansions": max_alignment_expansions,
+                    "coarse_level": coarse_level,
+                    "coarse_margin": coarse_margin,
+                    "ladder_factor": ladder_factor,
+                    "min_coarse_cells": min_coarse_cells,
+                    "use_inverted": use_inverted,
+                },
+            )
+            self._owns_executor = True
+
+    @property
+    def executor(self):
+        """The owned (or injected) deployment-mode executor."""
+        return self._executor
+
+    @property
+    def mode(self) -> str:
+        return self._executor.mode
 
     @property
     def parallel(self) -> bool:
-        return len(self.engines) > 1 and self.max_workers > 1
+        return self._executor.parallel
 
     # ------------------------------------------------------------------
-    # Fan-out
+    # Lifecycle
     # ------------------------------------------------------------------
 
-    def _fan_out(self, work) -> List[object]:
-        """Run ``work(engine)`` for every shard engine, thread-pooled
-        when :attr:`parallel`; results keep shard order either way."""
-        if not self.parallel:
-            return [work(engine) for engine in self.engines]
-        with ThreadPoolExecutor(
-            max_workers=min(self.max_workers, len(self.engines))
-        ) as pool:
-            futures = [
-                pool.submit(work, engine) for engine in self.engines
-            ]
-            return [future.result() for future in futures]
+    def close(self) -> None:
+        """Release the owned executor (thread pool or shard workers);
+        idempotent. An injected executor is the injector's to close."""
+        if self._owns_executor:
+            self._executor.close()
 
-    @staticmethod
-    def _merge(
-        per_shard: Sequence[Tuple[List[MatchResult], EngineStats]],
-        query: MatchQuery,
-        parallel: bool,
-    ) -> Tuple[List[MatchResult], EngineStats]:
-        results: List[MatchResult] = []
-        for shard_results, _ in per_shard:
-            results.extend(shard_results)
-        results.sort(key=lambda r: (r.distance, r.pattern.pattern_id))
-        merged = EngineStats(
-            archive_size=sum(s.archive_size for _, s in per_shard),
-            plan={
-                "entry": ENTRY_SHARDED,
-                "shards": len(per_shard),
-                "entries": [s.entry for _, s in per_shard],
-                "archive": sum(s.archive_size for _, s in per_shard),
-                "gathered": sum(s.gathered for _, s in per_shard),
-                "shared_gather": any(
-                    s.plan.get("shared_gather") for _, s in per_shard
-                ),
-                "parallel": parallel,
-            },
-        )
-        for _, stats in per_shard:
-            merged.screened += stats.screened
-            merged.feature_filtered += stats.feature_filtered
-            merged.coarse_evaluated += stats.coarse_evaluated
-            merged.coarse_rejected += stats.coarse_rejected
-            merged.coarse_fast_accepted += stats.coarse_fast_accepted
-            merged.refined += stats.refined
-            merged.matches += stats.matches
-        screens = {
-            s.coarse_screen for _, s in per_shard if s.coarse_screen
-        }
-        if screens:
-            merged.coarse_screen = (
-                screens.pop() if len(screens) == 1 else "mixed"
-            )
-        if query.top_k is not None:
-            results = results[: query.top_k]
-        return results, merged
+    def __enter__(self) -> "ShardedMatchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
+    def ingest(self, sgs: SGS, full_size: int) -> ArchivedPattern:
+        """Archive a new pattern *and* propagate it to the executor's
+        shard copy (process workers hold hydrated replicas; in-process
+        modes share :attr:`base` and need no propagation)."""
+        pattern = self.base.add(sgs, full_size)
+        self._executor.ingest(
+            self.base.shard_index_of(pattern.pattern_id), pattern
+        )
+        return pattern
+
     def match(
         self, query: MatchQuery
     ) -> Tuple[List[MatchResult], EngineStats]:
         """One query against every shard; merged deterministically."""
-        per_shard = self._fan_out(lambda engine: engine.match(query))
-        return self._merge(per_shard, query, self.parallel)
+        per_shard = self._executor.match(query)
+        return self._merge_results(per_shard, query, self.parallel)
 
     def match_sgs(
         self,
@@ -506,13 +540,11 @@ class ShardedMatchEngine:
         and each query's per-shard answers merge as in :meth:`match`."""
         if not queries:
             return []
-        per_shard = self._fan_out(
-            lambda engine: engine.match_many(queries)
-        )
+        per_shard = self._executor.match_many(queries)
         out: List[Tuple[List[MatchResult], EngineStats]] = []
         for qi, query in enumerate(queries):
             out.append(
-                self._merge(
+                self._merge_results(
                     [shard_out[qi] for shard_out in per_shard],
                     query,
                     self.parallel,

@@ -1,0 +1,533 @@
+"""The deployment-mode seam: where shard work runs.
+
+A :class:`ShardExecutor` answers ``match`` / ``match_many`` for *every*
+shard of a partitioned archive and returns the per-shard
+``(results, stats)`` pairs in shard order — the caller (the
+:class:`~repro.retrieval.shards.ShardedMatchEngine` facade or the
+always-on service) merges them through
+:func:`repro.serving.merge.merge_shard_results`. Three implementations
+are interchangeable with identical answers:
+
+* :class:`SerialExecutor` — an in-process loop over the shard engines;
+  the deterministic-profiling and single-shard baseline.
+* :class:`ThreadExecutor` — the shard engines on **one persistent
+  thread pool**, created at construction and shut down by ``close()``
+  (the facade used to build a ``ThreadPoolExecutor`` per call; the
+  pool is now owned for the executor's lifetime).
+* :class:`ProcessExecutor` — one OS process per shard. Each worker
+  **hydrates its shard once from a persisted format-v3 dump** (written
+  at construction through :func:`repro.archive.persistence.\
+dump_pattern_base`, inverted cell-signature section included, so
+  workers start with warm posting lists), then answers tasks over a
+  request/response queue pair. A worker that dies mid-task is
+  respawned from the same dump, post-dump ingests are replayed from a
+  journal, and the interrupted task is resubmitted — crash recovery
+  never changes answers, because shard answers are deterministic.
+
+Results cross the process boundary as
+``[pattern_id, distance, alignment]`` triples
+(:mod:`repro.serving.wire`) and re-attach to the caller's own archive
+copy through a resolver, so the merged output is bit-identical to the
+serial path's.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.archive.pattern_base import ArchivedPattern, PatternBase
+from repro.archive.persistence import dump_pattern_base, load_pattern_base
+from repro.core.serialize import sgs_from_dict, sgs_to_dict
+from repro.serving.wire import (
+    metric_from_wire,
+    query_from_wire,
+    query_to_wire,
+    results_from_wire,
+    results_to_wire,
+    stats_from_wire,
+    stats_to_wire,
+)
+
+#: The supported deployment modes, in escalation order.
+MODES = ("serial", "thread", "process")
+
+#: How many consecutive crash-restarts one task may trigger before the
+#: executor gives up and raises.
+DEFAULT_RESTART_LIMIT = 3
+
+#: Seconds between liveness checks while awaiting a worker reply.
+_POLL_SECONDS = 0.05
+
+
+def validate_mode(mode: str) -> str:
+    if mode not in MODES:
+        raise ValueError(
+            f"unknown serving mode {mode!r}; expected one of {MODES}"
+        )
+    return mode
+
+
+class ShardExecutor:
+    """Protocol base: per-shard execution behind one seam.
+
+    ``match``/``match_many`` return per-shard answers in shard order;
+    ``ingest`` propagates a newly archived pattern to whatever copy of
+    its shard the executor serves from (a no-op for in-process modes,
+    which share the caller's live archive); ``close`` releases owned
+    resources and is idempotent. Executors are context managers.
+    """
+
+    mode: str = ""
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    @property
+    def parallel(self) -> bool:
+        return False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def match(self, query) -> List[Tuple[list, object]]:
+        raise NotImplementedError
+
+    def match_many(self, queries) -> List[List[Tuple[list, object]]]:
+        raise NotImplementedError
+
+    def ingest(self, shard_index: int, pattern: ArchivedPattern) -> None:
+        self._check_open()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """Run every shard's work in the calling thread, in shard order."""
+
+    mode = "serial"
+
+    def __init__(self, engines: Sequence):
+        super().__init__()
+        self.engines = list(engines)
+
+    def match(self, query):
+        self._check_open()
+        return [engine.match(query) for engine in self.engines]
+
+    def match_many(self, queries):
+        self._check_open()
+        return [engine.match_many(queries) for engine in self.engines]
+
+
+class ThreadExecutor(ShardExecutor):
+    """Shard fan-out on one persistent, lifecycle-managed thread pool.
+
+    The pool is constructed once and reused for every call —
+    ``close()`` (or the context manager) shuts it down. Threads are
+    spawned lazily by the pool, so an executor that never runs a query
+    costs nothing beyond the object itself.
+    """
+
+    mode = "thread"
+
+    def __init__(self, engines: Sequence, max_workers: Optional[int] = None):
+        super().__init__()
+        self.engines = list(engines)
+        if max_workers is None:
+            max_workers = len(self.engines)
+        self.max_workers = max(1, min(int(max_workers), len(self.engines)))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-shard",
+        )
+
+    @property
+    def parallel(self) -> bool:
+        return len(self.engines) > 1 and self.max_workers > 1
+
+    def _fan_out(self, work: Callable):
+        self._check_open()
+        futures = [
+            self._pool.submit(work, engine) for engine in self.engines
+        ]
+        return [future.result() for future in futures]
+
+    def match(self, query):
+        return self._fan_out(lambda engine: engine.match(query))
+
+    def match_many(self, queries):
+        return self._fan_out(lambda engine: engine.match_many(queries))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+        super().close()
+
+
+# ----------------------------------------------------------------------
+# Process workers
+# ----------------------------------------------------------------------
+
+
+def _worker_main(dump_path, config, request_queue, response_queue):
+    """One shard worker: hydrate from the format-v3 dump, then serve.
+
+    Runs in a child process. Tasks arrive as
+    ``(task_id, command, payload)`` tuples; ``None`` shuts the worker
+    down. Replies are ``(task_id, "ok" | "error", payload)``.
+    """
+    from repro.retrieval.engine import MatchEngine
+
+    base = load_pattern_base(dump_path)
+    engine = MatchEngine(
+        base,
+        spec=metric_from_wire(config["metric"]),
+        max_alignment_expansions=config["max_alignment_expansions"],
+        coarse_level=config["coarse_level"],
+        coarse_margin=config["coarse_margin"],
+        ladder_factor=config["ladder_factor"],
+        min_coarse_cells=config["min_coarse_cells"],
+        use_inverted=config["use_inverted"],
+    )
+    while True:
+        task = request_queue.get()
+        if task is None:
+            return
+        task_id, command, payload = task
+        try:
+            if command == "match":
+                results, stats = engine.match(query_from_wire(payload))
+                reply = (results_to_wire(results), stats_to_wire(stats))
+            elif command == "match_many":
+                queries = [query_from_wire(data) for data in payload]
+                reply = [
+                    (results_to_wire(results), stats_to_wire(stats))
+                    for results, stats in engine.match_many(queries)
+                ]
+            elif command == "ingest":
+                pattern_id, sgs_data, full_size = payload
+                base.restore(
+                    ArchivedPattern(
+                        pattern_id, sgs_from_dict(sgs_data), full_size
+                    )
+                )
+                reply = len(base)
+            elif command == "ping":
+                reply = os.getpid()
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+            response_queue.put((task_id, "ok", reply))
+        except Exception as error:  # surface, don't die: the parent
+            # treats a dead worker as a crash and restarts it; a
+            # malformed task should fail loudly instead.
+            response_queue.put(
+                (task_id, "error", f"{type(error).__name__}: {error}")
+            )
+
+
+def _child_import_path() -> None:
+    """Make ``repro`` importable in spawned children.
+
+    ``spawn`` children rebuild ``sys.path`` from the environment, not
+    from the parent interpreter — a source checkout run with
+    ``PYTHONPATH=src`` (or pytest's ``pythonpath`` setting) would leave
+    them unable to import this module. Prepend the package root to
+    ``PYTHONPATH`` so every future spawn inherits it.
+    """
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = os.environ.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing
+            else package_root
+        )
+
+
+class ProcessExecutor(ShardExecutor):
+    """One multiprocessing worker per shard, restart-on-crash.
+
+    Construction persists each shard to a format-v3 dump in an owned
+    temporary directory and spawns one worker per shard; each worker
+    hydrates from its dump exactly once and then answers match /
+    match_many / ingest tasks over its own queue pair. A worker found
+    dead while a task is in flight is respawned from the dump, the
+    post-dump ingest journal is replayed, and the task is resubmitted
+    (at most ``restart_limit`` times per task).
+
+    ``resolve`` maps result pattern ids back to the caller's own
+    archive records (typically ``ShardedPatternBase.get``), so the
+    returned :class:`MatchResult` objects are indistinguishable from
+    the in-process executors'.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        shards: Sequence[PatternBase],
+        engine_config: Dict[str, object],
+        resolve: Callable[[int], Optional[ArchivedPattern]],
+        restart_limit: int = DEFAULT_RESTART_LIMIT,
+        mp_start: str = "spawn",
+    ):
+        super().__init__()
+        import multiprocessing
+
+        if not shards:
+            raise ValueError("ProcessExecutor needs at least one shard")
+        self._config = dict(engine_config)
+        self._resolve = resolve
+        self.restart_limit = int(restart_limit)
+        self._context = multiprocessing.get_context(mp_start)
+        if mp_start != "fork":
+            _child_import_path()
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        self._dump_paths = []
+        for index, shard in enumerate(shards):
+            path = os.path.join(self._tempdir.name, f"shard-{index}.sgsa")
+            dump_pattern_base(shard, path)
+            self._dump_paths.append(path)
+        self._workers: List[object] = [None] * len(shards)
+        self._requests: List[object] = [None] * len(shards)
+        self._responses: List[object] = [None] * len(shards)
+        #: Ingests accepted after the hydration dump, replayed into a
+        #: respawned worker before any resubmission.
+        self._ingest_log: List[List[tuple]] = [[] for _ in shards]
+        self._task_counter = 0
+        self.restarts = 0
+        for index in range(len(shards)):
+            self._spawn(index)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._workers)
+
+    @property
+    def parallel(self) -> bool:
+        return self.shard_count > 1
+
+    def worker_pids(self) -> List[int]:
+        return [worker.pid for worker in self._workers]
+
+    def _spawn(self, index: int) -> None:
+        request_queue = self._context.Queue()
+        response_queue = self._context.Queue()
+        worker = self._context.Process(
+            target=_worker_main,
+            args=(
+                self._dump_paths[index],
+                self._config,
+                request_queue,
+                response_queue,
+            ),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        worker.start()
+        self._workers[index] = worker
+        self._requests[index] = request_queue
+        self._responses[index] = response_queue
+
+    def _discard_queues(self, index: int) -> None:
+        for queues in (self._requests, self._responses):
+            channel = queues[index]
+            if channel is not None:
+                channel.close()
+                # Never block interpreter exit on a dead worker's
+                # unflushed feeder thread.
+                channel.cancel_join_thread()
+            queues[index] = None
+
+    def _restart(self, index: int) -> None:
+        """Respawn a crashed worker from its dump and replay the
+        post-dump ingest journal."""
+        worker = self._workers[index]
+        if worker is not None:
+            worker.join(timeout=0.5)
+        self._discard_queues(index)
+        self._spawn(index)
+        self.restarts += 1
+        for entry in self._ingest_log[index]:
+            task_id = self._submit(index, "ingest", entry)
+            self._await(index, task_id, allow_restart=False)
+
+    # ------------------------------------------------------------------
+    # The task protocol
+    # ------------------------------------------------------------------
+
+    def _submit(self, index: int, command: str, payload) -> int:
+        self._task_counter += 1
+        self._requests[index].put((self._task_counter, command, payload))
+        return self._task_counter
+
+    def _await(
+        self,
+        index: int,
+        task_id: int,
+        command: Optional[str] = None,
+        payload=None,
+        allow_restart: bool = True,
+    ):
+        """Wait for one task's reply, restarting the worker (and
+        resubmitting) if it dies with the task in flight."""
+        attempts = 0
+        while True:
+            try:
+                reply_id, status, reply = self._responses[index].get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                if self._workers[index].is_alive():
+                    continue
+                if not allow_restart or command is None:
+                    raise RuntimeError(
+                        f"shard worker {index} died during {command or 'replay'}"
+                    )
+                attempts += 1
+                if attempts > self.restart_limit:
+                    raise RuntimeError(
+                        f"shard worker {index} crashed {attempts} times "
+                        f"on one {command} task; giving up"
+                    )
+                self._restart(index)
+                task_id = self._submit(index, command, payload)
+                continue
+            if reply_id != task_id:
+                continue  # stale reply from before a restart
+            if status == "error":
+                raise RuntimeError(
+                    f"shard worker {index} failed: {reply}"
+                )
+            return reply
+
+    def _fan_out(self, command: str, payload):
+        """Submit one task to every worker, then collect in shard
+        order — shards compute concurrently in their own processes."""
+        self._check_open()
+        task_ids = [
+            self._submit(index, command, payload)
+            for index in range(self.shard_count)
+        ]
+        return [
+            self._await(index, task_ids[index], command, payload)
+            for index in range(self.shard_count)
+        ]
+
+    # ------------------------------------------------------------------
+    # The executor surface
+    # ------------------------------------------------------------------
+
+    def match(self, query):
+        wire_query = query_to_wire(query)
+        return [
+            (
+                results_from_wire(results, self._resolve),
+                stats_from_wire(stats),
+            )
+            for results, stats in self._fan_out("match", wire_query)
+        ]
+
+    def match_many(self, queries):
+        wire_queries = [query_to_wire(query) for query in queries]
+        return [
+            [
+                (
+                    results_from_wire(results, self._resolve),
+                    stats_from_wire(stats),
+                )
+                for results, stats in per_query
+            ]
+            for per_query in self._fan_out("match_many", wire_queries)
+        ]
+
+    def ingest(self, shard_index: int, pattern: ArchivedPattern) -> None:
+        self._check_open()
+        entry = (
+            pattern.pattern_id,
+            sgs_to_dict(pattern.sgs),
+            pattern.full_size,
+        )
+        self._ingest_log[shard_index].append(entry)
+        task_id = self._submit(shard_index, "ingest", entry)
+        self._await(shard_index, task_id, "ingest", entry)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            try:
+                if worker.is_alive():
+                    self._requests[index].put(None)
+            except (ValueError, OSError):
+                pass
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            worker.join(timeout=2.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+            self._discard_queues(index)
+        self._tempdir.cleanup()
+        super().close()
+
+    def __del__(self):  # best-effort: explicit close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def build_executor(
+    mode: Optional[str],
+    engines: Sequence,
+    base=None,
+    max_workers: Optional[int] = None,
+    worker_config: Optional[Dict[str, object]] = None,
+) -> ShardExecutor:
+    """Construct the executor for a deployment mode.
+
+    ``mode=None`` keeps the facade's historical default: serial for a
+    single shard (or ``max_workers <= 1``), the thread pool otherwise.
+    ``process`` additionally needs ``base`` (the partitioned archive,
+    for shard dumps and result resolution) and ``worker_config`` (the
+    picklable engine construction arguments).
+    """
+    if mode is None:
+        workers = len(engines) if max_workers is None else int(max_workers)
+        mode = "thread" if len(engines) > 1 and workers > 1 else "serial"
+    validate_mode(mode)
+    if mode == "serial":
+        return SerialExecutor(engines)
+    if mode == "thread":
+        return ThreadExecutor(engines, max_workers=max_workers)
+    if base is None or worker_config is None:
+        raise ValueError(
+            "process mode needs the partitioned base and a worker config"
+        )
+    return ProcessExecutor(base.shards(), worker_config, base.get)

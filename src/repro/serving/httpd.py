@@ -1,0 +1,115 @@
+"""JSON-over-HTTP front end for :class:`MatchService` — stdlib only.
+
+``repro serve`` binds a :class:`http.server.ThreadingHTTPServer` whose
+handler dispatches to one shared :class:`~repro.serving.service.\
+MatchService`:
+
+========  ============  ====================================
+method    path          body / answer
+========  ============  ====================================
+GET       /healthz      liveness ``{"status": "ok", ...}``
+GET       /stats        archive + serving configuration
+POST      /ingest       ``{"sgs": <sgs dict>, "full_size"}``
+POST      /match        a wire-form match query
+POST      /match_many   ``{"queries": [<query>, ...]}``
+========  ============  ====================================
+
+Bodies and answers are JSON; a malformed request answers 400 with
+``{"error": ...}``, an unknown path 404, a handler crash 500. The
+server threads only decode and encode here — every operation runs
+under the service's own lock, so threading the HTTP layer costs no
+determinism.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from repro.serving.service import MatchService, ServiceError
+
+__all__ = ["MatchRequestHandler", "make_server"]
+
+#: Largest accepted request body, a guard against runaway posts.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class MatchRequestHandler(BaseHTTPRequestHandler):
+    """Routes the five service endpoints; JSON in, JSON out."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MatchService:
+        return self.server.service  # attached by make_server
+
+    def log_message(self, format, *args):  # quiet by default; the CLI
+        pass  # announces the bound address once instead.
+
+    def _reply(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ServiceError("request body is required")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError("request body too large")
+        return json.loads(self.rfile.read(length))
+
+    def _dispatch(self, handler, with_body: bool) -> None:
+        try:
+            payload = self._read_json() if with_body else None
+            answer = handler(payload) if with_body else handler()
+            self._reply(200, answer)
+        except (ServiceError, json.JSONDecodeError) as error:
+            self._reply(400, {"error": str(error)})
+        except Exception as error:  # a crash must answer, not hang the
+            # client: the connection is keep-alive under HTTP/1.1.
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._dispatch(self.service.healthz, with_body=False)
+        elif self.path == "/stats":
+            self._dispatch(self.service.stats, with_body=False)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        routes = {
+            "/ingest": self.service.ingest,
+            "/match": self.service.match,
+            "/match_many": self.service.match_many,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        self._dispatch(handler, with_body=True)
+
+
+def make_server(
+    service: MatchService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[ThreadingHTTPServer, str, int]:
+    """Bind the service; returns ``(server, host, bound_port)``.
+
+    ``port=0`` lets the OS pick a free port — the caller reads the
+    bound one back (the CLI prints it; tests parse it). Call
+    ``server.serve_forever()`` to run and ``server.shutdown()`` +
+    ``server.server_close()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), MatchRequestHandler)
+    server.daemon_threads = True
+    server.service = service
+    bound_host, bound_port = server.server_address[:2]
+    return server, str(bound_host), int(bound_port)

@@ -1,0 +1,250 @@
+"""The always-on match service: one archive, every deployment mode.
+
+:class:`MatchService` is the application object behind ``repro serve``
+(and behind any embedding that wants a long-lived matching front end):
+it owns a partitioned archive plus one
+:class:`~repro.retrieval.shards.ShardedMatchEngine` whose executor is
+picked by ``mode`` — so ``{serial, thread, process}`` are
+interchangeable at the service boundary with identical answers — and
+exposes the five operations of the HTTP surface as plain-dict
+request/response methods:
+
+* ``ingest``    — archive a new window pattern (and propagate it to the
+  executor's shard copy, e.g. a process worker's hydrated replica);
+* ``match``     — one Cluster Matching Query;
+* ``match_many``— a batch, one shared per-shard gather;
+* ``stats``     — archive/serving configuration plus request counters;
+* ``healthz``   — liveness.
+
+Requests and responses are JSON-able dicts built on the wire forms of
+:mod:`repro.serving.wire`; the HTTP layer (:mod:`repro.serving.httpd`)
+only decodes/encodes JSON around these methods. A single lock
+serializes operations — the engines and the archive are not safe under
+concurrent mutation, and determinism is the product.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.archive.persistence import load_pattern_base
+from repro.core.serialize import sgs_from_dict
+from repro.matching.metric import DistanceMetricSpec
+from repro.retrieval.engine import EngineStats, MatchResult
+from repro.retrieval.queries import MatchQuery
+from repro.retrieval.shards import ShardedMatchEngine, ShardedPatternBase
+from repro.serving.wire import (
+    metric_from_wire,
+    metric_to_wire,
+    stats_to_wire,
+)
+
+__all__ = ["MatchService", "ServiceError"]
+
+
+class ServiceError(ValueError):
+    """A malformed or unanswerable request (maps to HTTP 400)."""
+
+
+def _result_to_dict(result: MatchResult) -> Dict[str, object]:
+    return {
+        "pattern_id": result.pattern.pattern_id,
+        "window_index": result.pattern.window_index,
+        "distance": result.distance,
+        "alignment": list(result.alignment),
+    }
+
+
+class MatchService:
+    """A long-lived matching front end over one (sharded) archive."""
+
+    def __init__(
+        self,
+        base: ShardedPatternBase,
+        spec: Optional[DistanceMetricSpec] = None,
+        mode: Optional[str] = None,
+        coarse_level: int = 0,
+        max_alignment_expansions: int = 32,
+    ):
+        self.base = base
+        self.engine = ShardedMatchEngine(
+            base,
+            spec=spec,
+            coarse_level=coarse_level,
+            max_alignment_expansions=max_alignment_expansions,
+            mode=mode,
+        )
+        self._lock = threading.Lock()
+        self._counters = {
+            "ingest": 0,
+            "match": 0,
+            "match_many": 0,
+            "queries": 0,
+        }
+
+    @classmethod
+    def from_archive(
+        cls,
+        path: str,
+        shards: int = 1,
+        shard_key: str = "window",
+        spec: Optional[DistanceMetricSpec] = None,
+        mode: Optional[str] = None,
+        coarse_level: int = 0,
+        max_alignment_expansions: int = 32,
+        inverted_levels: Optional[Sequence[int]] = None,
+    ) -> "MatchService":
+        """Hydrate a service from a persisted archive file.
+
+        The archive is partitioned into ``shards`` by ``shard_key``
+        (1 shard is a valid deployment — the seam still applies, e.g.
+        ``mode="process"`` serves from one worker). A format-v3 dump's
+        inverted signatures transfer to the shards without
+        recomputation.
+        """
+        base = load_pattern_base(path)
+        if inverted_levels:
+            loaded = base.inverted_index()
+            if loaded is None or not all(
+                loaded.covers(level) for level in inverted_levels
+            ):
+                base.enable_inverted(tuple(inverted_levels))
+        sharded = ShardedPatternBase.from_base(base, shards, shard_key)
+        return cls(
+            sharded,
+            spec=spec,
+            mode=mode,
+            coarse_level=coarse_level,
+            max_alignment_expansions=max_alignment_expansions,
+        )
+
+    # ------------------------------------------------------------------
+    # Service surface (plain-dict in, plain-dict out)
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return self.engine.mode
+
+    def _parse_query(self, data: Dict[str, object]) -> MatchQuery:
+        if not isinstance(data, dict):
+            raise ServiceError("query must be a JSON object")
+        for field in ("sgs", "threshold"):
+            if field not in data:
+                raise ServiceError(f"query is missing {field!r}")
+        window_range = data.get("window_range")
+        feature_ranges = data.get("feature_ranges")
+        try:
+            metric = (
+                metric_from_wire(data["metric"])
+                if data.get("metric") is not None
+                else self.engine.spec
+            )
+            return MatchQuery(
+                sgs=sgs_from_dict(data["sgs"]),
+                threshold=float(data["threshold"]),
+                top_k=data.get("top_k"),
+                metric=metric,
+                window_range=(
+                    (int(window_range[0]), int(window_range[1]))
+                    if window_range is not None
+                    else None
+                ),
+                feature_ranges=(
+                    {
+                        str(name): (float(span[0]), float(span[1]))
+                        for name, span in feature_ranges.items()
+                    }
+                    if feature_ranges
+                    else None
+                ),
+                coarse_level=int(data.get("coarse_level", 0)),
+            )
+        except ServiceError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"bad query: {error}") from None
+
+    def _answer(self, results: List[MatchResult], stats: EngineStats):
+        return {
+            "results": [_result_to_dict(result) for result in results],
+            "stats": stats_to_wire(stats),
+        }
+
+    def ingest(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Archive one pattern: ``{"sgs": <sgs dict>, "full_size": n}``."""
+        if not isinstance(payload, dict) or "sgs" not in payload:
+            raise ServiceError('ingest needs {"sgs": ..., "full_size": ...}')
+        try:
+            sgs = sgs_from_dict(payload["sgs"])
+            full_size = int(payload.get("full_size", sgs.population))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"bad ingest payload: {error}") from None
+        with self._lock:
+            pattern = self.engine.ingest(sgs, full_size)
+            self._counters["ingest"] += 1
+            return {
+                "pattern_id": pattern.pattern_id,
+                "shard": self.base.shard_index_of(pattern.pattern_id),
+                "archive_size": len(self.base),
+            }
+
+    def match(self, payload: Dict[str, object]) -> Dict[str, object]:
+        query = self._parse_query(payload)
+        with self._lock:
+            results, stats = self.engine.match(query)
+            self._counters["match"] += 1
+            self._counters["queries"] += 1
+            return self._answer(results, stats)
+
+    def match_many(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("queries"), list
+        ):
+            raise ServiceError('match_many needs {"queries": [...]}')
+        queries = [self._parse_query(data) for data in payload["queries"]]
+        with self._lock:
+            answers = self.engine.match_many(queries)
+            self._counters["match_many"] += 1
+            self._counters["queries"] += len(queries)
+            return {
+                "answers": [
+                    self._answer(results, stats)
+                    for results, stats in answers
+                ]
+            }
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "archive_size": len(self.base),
+                "shards": self.base.shard_count,
+                "shard_sizes": list(self.base.shard_sizes()),
+                "partition_key": self.base.partition_key,
+                "mode": self.engine.mode,
+                "parallel": self.engine.parallel,
+                "metric": metric_to_wire(self.engine.spec),
+                "coarse_level": self.engine.coarse_level,
+                "requests": dict(self._counters),
+            }
+
+    def healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "mode": self.engine.mode,
+            "archive_size": len(self.base),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

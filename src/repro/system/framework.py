@@ -35,6 +35,18 @@ from repro.streams.windows import WindowSpec
 from repro.system.extractor import PatternExtractor
 
 
+class _ArchiveThroughEngine:
+    """The archiver-facing ``add`` surface of a sharded match engine:
+    archival routed through :meth:`ShardedMatchEngine.ingest` updates
+    both the in-process base and any executor-held shard copies."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def add(self, sgs: SGS, full_size: int):
+        return self._engine.ingest(sgs, full_size)
+
+
 class StreamPatternMiningSystem:
     """End-to-end: extract, summarize, archive, and match clusters."""
 
@@ -55,6 +67,7 @@ class StreamPatternMiningSystem:
         match_shards: Optional[int] = None,
         match_shard_key: Optional[str] = None,
         match_inverted_levels: Optional[Sequence[int]] = None,
+        match_mode: Optional[str] = None,
     ):
         self.extractor = PatternExtractor(
             theta_range,
@@ -69,7 +82,10 @@ class StreamPatternMiningSystem:
         inverted_levels = (
             tuple(match_inverted_levels) if match_inverted_levels else None
         )
-        if shards > 1:
+        # An explicit deployment mode forces the sharded serving path
+        # even over a single shard — the executor seam still applies
+        # (e.g. match_mode="process" serves from one worker).
+        if shards > 1 or match_mode is not None:
             self.pattern_base = ShardedPatternBase(
                 shards, shard_key, inverted_levels=inverted_levels
             )
@@ -77,24 +93,42 @@ class StreamPatternMiningSystem:
             self.pattern_base = PatternBase(
                 inverted_levels=inverted_levels
             )
+        # The analyzer builds the engine matching the base: a
+        # ShardedMatchEngine over a partitioned archive (with the
+        # requested deployment mode — see repro.serving), a plain
+        # MatchEngine otherwise.
+        expansions = (
+            32 if match_max_expansions is None else match_max_expansions
+        )
+        coarse = 0 if match_coarse_level is None else match_coarse_level
+        prebuilt = None
+        archive_target = self.pattern_base
+        if isinstance(self.pattern_base, ShardedPatternBase):
+            from repro.retrieval.shards import ShardedMatchEngine
+
+            prebuilt = ShardedMatchEngine(
+                self.pattern_base,
+                spec=metric,
+                max_alignment_expansions=expansions,
+                coarse_level=coarse,
+                mode=match_mode,
+            )
+            # Archival must flow through the facade so executors that
+            # keep their own shard copies (process workers) hear about
+            # every new pattern, not just the in-process base.
+            archive_target = _ArchiveThroughEngine(prebuilt)
         self.archiver = PatternArchiver(
-            self.pattern_base,
+            archive_target,
             policy=archive_policy,
             level=archive_level,
             byte_budget_per_cluster=archive_byte_budget,
         )
-        # The analyzer builds the engine matching the base: a
-        # ShardedMatchEngine over a partitioned archive, a plain
-        # MatchEngine otherwise.
         self.analyzer = PatternAnalyzer(
             self.pattern_base,
             metric,
-            max_alignment_expansions=(
-                32 if match_max_expansions is None else match_max_expansions
-            ),
-            coarse_level=(
-                0 if match_coarse_level is None else match_coarse_level
-            ),
+            max_alignment_expansions=expansions,
+            coarse_level=coarse,
+            engine=prebuilt,
         )
 
     @property
@@ -129,6 +163,7 @@ class StreamPatternMiningSystem:
             "match_shards",
             "match_shard_key",
             "match_inverted_levels",
+            "match_mode",
         ):
             if kwargs.get(name) is None:
                 kwargs[name] = getattr(query, name)
@@ -200,3 +235,17 @@ class StreamPatternMiningSystem:
     @property
     def archived_count(self) -> int:
         return len(self.pattern_base)
+
+    def close(self) -> None:
+        """Release the match engine's executor (thread pool or shard
+        worker processes); idempotent, and a no-op for the plain
+        in-process engine."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "StreamPatternMiningSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

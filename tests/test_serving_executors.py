@@ -1,0 +1,272 @@
+"""The deployment seam's laws: mode is placement, never semantics.
+
+Three suites over the Figure-7 ``stt_small`` archive (the same
+persisted format-v3 workload the golden fixtures pin):
+
+* **Executor parity** — ``process`` ≡ ``thread`` ≡ ``serial`` ≡ the
+  exhaustive scan, byte for byte (same pattern ids, same float
+  distances, same alignments, same merged stats), across a
+  threshold/top-k × shard-key × coarse-level panel.
+* **Fault tolerance** — a shard worker SIGKILLed with a batch in
+  flight is respawned from its hydration dump, post-dump ingests are
+  replayed from the journal, and the merged answers are *still*
+  identical to the serial path's.
+* **Lifecycle** — one persistent thread pool per executor (the
+  regression pin for the old pool-per-call construction), idempotent
+  ``close()``, context managers, closed-executor errors, and
+  ``build_executor`` validation.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from tests.golden.workload import build_sharded_v3_archive
+from tests.test_retrieval_engine import _as_pairs, exhaustive_scan
+from repro.matching.metric import DistanceMetricSpec
+from repro.retrieval import (
+    MatchQuery,
+    ShardedMatchEngine,
+    ShardedPatternBase,
+)
+from repro.serving import (
+    MODES,
+    SerialExecutor,
+    ThreadExecutor,
+    build_executor,
+    validate_mode,
+)
+import repro.serving.executors as executors_module
+
+
+@pytest.fixture(scope="module")
+def flat_base():
+    return build_sharded_v3_archive()
+
+
+def _query_panel(base):
+    """threshold/top-k × metric × coarse level, over two query SGS."""
+    pattern_ids = sorted(p.pattern_id for p in base.all_patterns())
+    query_ids = [pattern_ids[0], pattern_ids[len(pattern_ids) // 2]]
+    panel = []
+    for query_id in query_ids:
+        sgs = base.get(query_id).sgs
+        for spec in (
+            DistanceMetricSpec(),
+            DistanceMetricSpec(position_sensitive=True),
+        ):
+            for coarse in (0, 1):
+                for threshold, top_k in ((0.2, None), (0.5, 5)):
+                    panel.append(
+                        MatchQuery(
+                            sgs=sgs,
+                            threshold=threshold,
+                            top_k=top_k,
+                            metric=spec,
+                            coarse_level=coarse,
+                        )
+                    )
+    return panel
+
+
+def _exact(results):
+    """The full observable answer: id, exact float distance, alignment."""
+    return [
+        (r.pattern.pattern_id, r.distance, tuple(r.alignment))
+        for r in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# Executor parity: process ≡ thread ≡ serial ≡ exhaustive
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", ("window", "feature"))
+def test_modes_agree_bytewise_and_match_exhaustive(flat_base, key):
+    sharded = ShardedPatternBase.from_base(flat_base, 4, key)
+    panel = _query_panel(flat_base)
+    answers = {}
+    for mode in MODES:
+        with ShardedMatchEngine(sharded, mode=mode) as engine:
+            assert engine.mode == mode
+            batched = engine.match_many(panel)
+            # match() must agree with its own match_many() entry.
+            solo_results, solo_stats = engine.match(panel[0])
+            assert _exact(solo_results) == _exact(batched[0][0])
+            assert solo_stats.plan["entry"] == "sharded"
+            answers[mode] = batched
+    for mode in ("thread", "process"):
+        for qi, query in enumerate(panel):
+            serial_results, serial_stats = answers["serial"][qi]
+            mode_results, mode_stats = answers[mode][qi]
+            assert _exact(mode_results) == _exact(serial_results), (
+                f"{mode} diverged from serial on query {qi} ({key})"
+            )
+            assert mode_stats.archive_size == serial_stats.archive_size
+            assert mode_stats.gathered == serial_stats.gathered
+            assert mode_stats.refined == serial_stats.refined
+            assert mode_stats.matches == serial_stats.matches
+            assert (
+                mode_stats.plan["entries"] == serial_stats.plan["entries"]
+            )
+    for qi, query in enumerate(panel):
+        if query.top_k is None:
+            assert (
+                _as_pairs(answers["serial"][qi][0])
+                == exhaustive_scan(flat_base, query)
+            ), f"serial diverged from the exhaustive scan on query {qi}"
+
+
+def test_parallel_flag_reflects_mode(flat_base):
+    sharded = ShardedPatternBase.from_base(flat_base, 3, "window")
+    query = _query_panel(flat_base)[0]
+    for mode, parallel in (
+        ("serial", False),
+        ("thread", True),
+        ("process", True),
+    ):
+        with ShardedMatchEngine(sharded, mode=mode) as engine:
+            assert engine.parallel is parallel
+            _, stats = engine.match(query)
+            assert stats.plan["parallel"] is parallel
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: kill a worker, answers stay identical
+# ----------------------------------------------------------------------
+
+
+def test_killed_worker_restarts_and_answers_stay_correct(flat_base):
+    sharded = ShardedPatternBase.from_base(flat_base, 4, "window")
+    panel = _query_panel(flat_base)[:6]
+    with ShardedMatchEngine(sharded, mode="process") as engine:
+        executor = engine.executor
+        # A pattern archived *after* worker hydration lives only in the
+        # ingest journal — the respawn must replay it.
+        extra_sgs = flat_base.get(
+            sorted(p.pattern_id for p in flat_base.all_patterns())[0]
+        ).sgs
+        extra = engine.ingest(extra_sgs, 55)
+        # The serial oracle shares the live base, so it already sees
+        # the ingest the process workers only know via their replicas.
+        with ShardedMatchEngine(sharded, mode="serial") as oracle:
+            expected = [
+                _exact(results) for results, _ in oracle.match_many(panel)
+            ]
+        probe = MatchQuery(sgs=extra_sgs, threshold=0.0, metric=engine.spec)
+        before = {pid for pid, _, _ in _exact(engine.match(probe)[0])}
+        assert extra.pattern_id in before
+        # SIGKILL the owning worker: the next batch finds it dead with
+        # tasks in flight, respawns it from the dump, replays the
+        # journal, and resubmits.
+        victim = sharded.shard_index_of(extra.pattern_id)
+        os.kill(executor.worker_pids()[victim], signal.SIGKILL)
+        time.sleep(0.05)
+        batched = engine.match_many(panel)
+        assert executor.restarts >= 1, "kill did not trigger a restart"
+        for qi in range(len(panel)):
+            assert _exact(batched[qi][0]) == expected[qi], (
+                f"answers diverged after worker restart (query {qi})"
+            )
+        # The journal replay preserved the post-dump ingest too (the
+        # oracle above predates it, so probe directly).
+        after = {pid for pid, _, _ in _exact(engine.match(probe)[0])}
+        assert extra.pattern_id in after
+
+
+def test_worker_crash_budget_is_bounded(flat_base):
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    query = _query_panel(flat_base)[0]
+    with ShardedMatchEngine(sharded, mode="process") as engine:
+        executor = engine.executor
+        executor.restart_limit = 1
+        engine.match(query)  # healthy round first
+        os.kill(executor.worker_pids()[0], signal.SIGKILL)
+        # Restarted workers answer correctly again within the budget.
+        results, _ = engine.match(query)
+        assert executor.restarts == 1
+        assert _exact(results)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: one pool per executor, close semantics, validation
+# ----------------------------------------------------------------------
+
+
+def test_thread_executor_builds_exactly_one_pool(flat_base, monkeypatch):
+    """Regression pin: the facade used to construct (and tear down) a
+    ThreadPoolExecutor on *every* match/match_many call."""
+    constructed = []
+    real_pool = executors_module.ThreadPoolExecutor
+
+    class CountingPool(real_pool):
+        def __init__(self, *args, **kwargs):
+            constructed.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(
+        executors_module, "ThreadPoolExecutor", CountingPool
+    )
+    sharded = ShardedPatternBase.from_base(flat_base, 3, "window")
+    panel = _query_panel(flat_base)[:4]
+    with ShardedMatchEngine(sharded) as engine:  # default: thread mode
+        assert engine.mode == "thread"
+        for query in panel:
+            engine.match(query)
+        engine.match_many(panel)
+        engine.match_many(panel)
+    assert len(constructed) == 1, (
+        f"expected one persistent pool, saw {len(constructed)} constructions"
+    )
+
+
+def test_closed_executor_refuses_work(flat_base):
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    query = _query_panel(flat_base)[0]
+    engine = ShardedMatchEngine(sharded, mode="thread")
+    engine.match(query)
+    engine.close()
+    engine.close()  # idempotent
+    assert engine.executor.closed
+    with pytest.raises(RuntimeError):
+        engine.match(query)
+    serial = SerialExecutor(engines=[])
+    with serial:
+        pass
+    with pytest.raises(RuntimeError):
+        serial.match(query)
+
+
+def test_injected_executor_is_not_closed_by_the_facade(flat_base):
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    query = _query_panel(flat_base)[0]
+    with ShardedMatchEngine(sharded, mode="serial") as donor:
+        shared = donor.executor
+        facade = ShardedMatchEngine(sharded, executor=shared)
+        facade.match(query)
+        facade.close()
+        assert not shared.closed
+        donor.match(query)  # still serving
+
+
+def test_build_executor_validation(flat_base):
+    with pytest.raises(ValueError):
+        validate_mode("bogus")
+    with pytest.raises(ValueError):
+        build_executor("carrier-pigeon", engines=[])
+    with pytest.raises(ValueError):
+        build_executor("process", engines=[])  # no base / worker config
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    engines = ShardedMatchEngine(sharded, mode="serial").engines
+    # The historical default: thread for many shards, serial for one
+    # worker or one shard.
+    assert build_executor(None, engines).mode == "thread"
+    assert build_executor(None, engines, max_workers=1).mode == "serial"
+    assert build_executor(None, engines[:1]).mode == "serial"
+    pool = build_executor("thread", engines, max_workers=64)
+    assert isinstance(pool, ThreadExecutor)
+    assert pool.max_workers == len(engines)  # clamped to shard count
+    pool.close()

@@ -1,0 +1,273 @@
+"""The always-on front end: HTTP surface, golden answers, CLI e2e.
+
+The service is a deployment of the same engine the golden suites pin,
+so its HTTP answers must equal a direct engine's byte for byte —
+across every ``--mode``. The last test drives the real ``repro serve``
+process over a persisted archive: parse the printed bound port, ingest
+a pattern, match, and compare against the in-process golden answer.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from tests.golden.workload import build_sharded_v3_archive
+from repro.archive.persistence import dump_pattern_base
+from repro.core.serialize import sgs_to_dict
+from repro.retrieval import (
+    MatchQuery,
+    ShardedMatchEngine,
+    ShardedPatternBase,
+)
+from repro.serving.httpd import make_server
+from repro.serving.service import MatchService, ServiceError
+
+
+@pytest.fixture(scope="module")
+def flat_base():
+    return build_sharded_v3_archive()
+
+
+@pytest.fixture(scope="module")
+def archive_path(flat_base, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serving") / "figure7.sgsa"
+    dump_pattern_base(flat_base, str(path))
+    return str(path)
+
+
+def _query_sgs(base):
+    first = sorted(p.pattern_id for p in base.all_patterns())[0]
+    return base.get(first).sgs
+
+
+class _Client:
+    """Tiny JSON client over urllib (stdlib only, like the server)."""
+
+    def __init__(self, host, port):
+        self.root = f"http://{host}:{port}"
+
+    def get(self, path):
+        with urllib.request.urlopen(self.root + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.root + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def served(archive_path, request):
+    """A live threaded server over the persisted archive."""
+    mode = getattr(request, "param", "serial")
+    service = MatchService.from_archive(archive_path, shards=2, mode=mode)
+    server, host, port = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield _Client(host, port), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+def test_healthz_and_stats(served):
+    client, service = served
+    status, health = client.get("/healthz")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["archive_size"] == len(service.base)
+    status, stats = client.get("/stats")
+    assert status == 200
+    assert stats["shards"] == 2
+    assert stats["mode"] == service.mode
+    assert sum(stats["shard_sizes"]) == stats["archive_size"]
+    assert stats["requests"]["queries"] == 0
+
+
+@pytest.mark.parametrize(
+    "served", ("serial", "thread", "process"), indirect=True
+)
+def test_http_answers_equal_direct_engine(served, flat_base):
+    """Every deployment mode answers over HTTP exactly what a direct
+    in-process engine answers — the service adds transport, nothing
+    else."""
+    client, service = served
+    sgs = _query_sgs(flat_base)
+    oracle_base = ShardedPatternBase.from_base(flat_base, 2, "window")
+    with ShardedMatchEngine(oracle_base, mode="serial") as oracle:
+        for threshold, top_k, coarse in (
+            (0.2, None, 0),
+            (0.5, 5, 1),
+            (0.35, 2, 0),
+        ):
+            status, answer = client.post(
+                "/match",
+                {
+                    "sgs": sgs_to_dict(sgs),
+                    "threshold": threshold,
+                    "top_k": top_k,
+                    "coarse_level": coarse,
+                },
+            )
+            assert status == 200
+            expected, stats = oracle.match(
+                MatchQuery(
+                    sgs=sgs,
+                    threshold=threshold,
+                    top_k=top_k,
+                    metric=oracle.spec,
+                    coarse_level=coarse,
+                )
+            )
+            assert [
+                (r["pattern_id"], r["distance"], tuple(r["alignment"]))
+                for r in answer["results"]
+            ] == [
+                (r.pattern.pattern_id, r.distance, tuple(r.alignment))
+                for r in expected
+            ]
+            assert answer["stats"]["matches"] == stats.matches
+            assert answer["stats"]["plan"]["entry"] == "sharded"
+
+
+def test_match_many_and_ingest_roundtrip(served, flat_base):
+    client, service = served
+    sgs = _query_sgs(flat_base)
+    before = len(service.base)
+    status, ingested = client.post(
+        "/ingest", {"sgs": sgs_to_dict(sgs), "full_size": 64}
+    )
+    assert status == 200
+    assert ingested["archive_size"] == before + 1
+    assert service.base.get(ingested["pattern_id"]) is not None
+    status, answer = client.post(
+        "/match_many",
+        {
+            "queries": [
+                {"sgs": sgs_to_dict(sgs), "threshold": 0.0},
+                {"sgs": sgs_to_dict(sgs), "threshold": 0.5, "top_k": 3},
+            ]
+        },
+    )
+    assert status == 200
+    assert len(answer["answers"]) == 2
+    # The freshly ingested duplicate matches its own SGS at distance 0.
+    exact = {
+        r["pattern_id"]
+        for r in answer["answers"][0]["results"]
+        if r["distance"] == 0.0
+    }
+    assert ingested["pattern_id"] in exact
+    status, stats = client.get("/stats")
+    assert stats["requests"]["ingest"] == 1
+    assert stats["requests"]["queries"] == 2
+
+
+def test_error_paths(served):
+    client, _ = served
+    status, body = client.post("/match", {"threshold": 0.5})
+    assert status == 400 and "sgs" in body["error"]
+    status, body = client.post("/match_many", {"queries": "nope"})
+    assert status == 400
+    status, body = client.post("/ingest", {"wrong": 1})
+    assert status == 400
+    status, body = client.post("/unknown", {})
+    assert status == 404
+    try:
+        status, _ = client.get("/unknown")
+    except urllib.error.HTTPError as error:
+        status = error.code
+    assert status == 404
+    request = urllib.request.Request(
+        client.root + "/match",
+        data=b"this is not json",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            status = resp.status
+    except urllib.error.HTTPError as error:
+        status = error.code
+    assert status == 400
+
+
+def test_service_rejects_malformed_payloads_directly(archive_path):
+    with MatchService.from_archive(archive_path) as service:
+        with pytest.raises(ServiceError):
+            service.match({"threshold": 0.5})
+        with pytest.raises(ServiceError):
+            service.match("not a dict")
+        with pytest.raises(ServiceError):
+            service.match_many({"queries": None})
+        with pytest.raises(ServiceError):
+            service.ingest({})
+        with pytest.raises(ServiceError):
+            service.match({"sgs": {"broken": True}, "threshold": 0.5})
+
+
+def test_cli_serve_end_to_end(archive_path, flat_base):
+    """The real ``repro serve`` process: persisted archive in, bound
+    port printed, ingest + match over HTTP, golden answer out."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--archive", archive_path,
+            "--shards", "2", "--mode", "thread", "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": os.path.join(os.path.dirname(__file__), "..", "src"),
+        },
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        bound = re.search(r"on http://([\d.]+):(\d+)$", banner)
+        assert bound, f"unparseable serve banner: {banner!r}"
+        client = _Client(bound.group(1), int(bound.group(2)))
+        status, health = client.get("/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["archive_size"] == len(flat_base)
+        sgs = _query_sgs(flat_base)
+        status, ingested = client.post(
+            "/ingest", {"sgs": sgs_to_dict(sgs), "full_size": 10}
+        )
+        assert status == 200
+        status, answer = client.post(
+            "/match",
+            {"sgs": sgs_to_dict(sgs), "threshold": 0.5, "top_k": 5},
+        )
+        assert status == 200
+        oracle_base = ShardedPatternBase.from_base(flat_base, 2, "window")
+        oracle_base.add(sgs, 10)
+        with ShardedMatchEngine(oracle_base, mode="serial") as oracle:
+            expected, _ = oracle.match(
+                MatchQuery(
+                    sgs=sgs, threshold=0.5, top_k=5, metric=oracle.spec
+                )
+            )
+        assert [
+            (r["pattern_id"], r["distance"]) for r in answer["results"]
+        ] == [(r.pattern.pattern_id, r.distance) for r in expected]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
