@@ -156,3 +156,89 @@ def test_serving_modes_agree_and_process_scales(benchmark):
         rounds=1,
         iterations=1,
     )
+
+
+def test_serving_failover_ablation(benchmark):
+    """Failover ablation: the latency cost of losing a shard worker
+    mid-batch, replicated vs unreplicated.
+
+    For each replica count, serve one healthy warm round, then SIGKILL
+    a worker of shard 0 *while the next batch is in flight* (the
+    ``inject_crash`` fault hook pins the read cursor to the victim so
+    the batch really lands on the dying worker) and time that batch.
+
+    * ``replicas=1`` recovers by respawn-and-wait: the batch stalls on
+      worker spawn + format-v3 rehydration + journal replay.
+    * ``replicas=2`` fails over to the live sibling while the dead
+      worker respawns in the background — the hot path never waits on
+      hydration, which is the whole point of replication.
+
+    Both kill rounds must answer byte-identically to the healthy
+    round; the records land in ``BENCH_serving.json``.
+    """
+    sharded, batch = _sharded_and_batch()
+    cpus = os.cpu_count() or 1
+    table = Table(
+        "Shard serving — failover ablation "
+        f"({len(sharded)} archived patterns, {SHARDS} shards, "
+        f"kill one worker of shard 0 mid-batch, {cpus} CPUs)",
+        ["replicas", "healthy batch", "batch during kill", "recovery"],
+    )
+    for replicas in (1, 2):
+        engine = ShardedMatchEngine(
+            sharded, mode="process", replicas=replicas
+        )
+        try:
+            executor = engine.executor
+            start = time.perf_counter()
+            healthy = [
+                _exact(results)
+                for results, _ in engine.match_many(batch)
+            ]
+            t_healthy = time.perf_counter() - start
+            executor.inject_crash(0, 0, delay=0.05)
+            start = time.perf_counter()
+            killed = [
+                _exact(results)
+                for results, _ in engine.match_many(batch)
+            ]
+            t_killed = time.perf_counter() - start
+            assert killed == healthy, (
+                f"answers diverged after the kill (replicas={replicas})"
+            )
+            if replicas > 1:
+                assert executor.failovers >= 1, (
+                    "replicated read did not fail over to a sibling"
+                )
+                recovery = (
+                    f"sibling failover ({executor.failovers} failovers)"
+                )
+            else:
+                assert executor.restarts >= 1, (
+                    "unreplicated worker was never respawned"
+                )
+                recovery = (
+                    f"respawn + rehydrate ({executor.restarts} restarts)"
+                )
+            table.add_row(
+                replicas,
+                fmt_seconds(t_healthy),
+                fmt_seconds(t_killed),
+                recovery,
+            )
+            emit_bench_record(
+                "serving",
+                "failover_kill_one",
+                replicas=replicas,
+                shards=SHARDS,
+                batch_queries=len(batch),
+                cpus=cpus,
+                healthy_wall_time_s=round(t_healthy, 6),
+                kill_wall_time_s=round(t_killed, 6),
+                failovers=executor.failovers,
+                restarts=executor.restarts,
+            )
+        finally:
+            engine.close()
+    report(table.render())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

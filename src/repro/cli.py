@@ -190,12 +190,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
         # Legacy (v1/v2) archive, or one persisted with different
         # rungs: rebuild the inverted index at the requested rungs.
         base.enable_inverted(inverted_levels)
-    if args.shards > 1 or args.mode:
+    if args.shards > 1 or args.mode or args.replicas > 1:
         sharded = ShardedPatternBase.from_base(
             base, args.shards, args.shard_key
         )
         engine = ShardedMatchEngine(
-            sharded, _metric_from_args(args), mode=args.mode
+            sharded, _metric_from_args(args), mode=args.mode,
+            replicas=args.replicas,
         )
     else:
         engine = MatchEngine(base, _metric_from_args(args))
@@ -249,13 +250,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         coarse_level=args.coarse_level,
         inverted_levels=_parse_inverted_levels(args.inverted_levels) or None,
+        replicas=args.replicas,
     )
     server, host, port = make_server(service, args.host, args.port)
     # One parseable line, flushed before serving: tests and scripts
     # read the bound port from it (important with --port 0).
     print(
         f"serving {len(service.base)} patterns "
-        f"(shards={service.base.shard_count}, mode={service.mode}) "
+        f"(shards={service.base.shard_count}, mode={service.mode}, "
+        f"replicas={service.engine.executor.replica_count}) "
         f"on http://{host}:{port}",
         flush=True,
     )
@@ -378,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="deployment mode of the sharded execution (serial / "
         "thread / process); default: thread when --shards > 1",
     )
+    match.add_argument(
+        "--replicas", type=int, default=1,
+        help="process-worker replicas per shard (implies --mode "
+        "process): reads route round-robin across live replicas and "
+        "fail over to a sibling when a worker dies mid-task",
+    )
     match.set_defaults(func=_cmd_match)
 
     serve = sub.add_parser(
@@ -403,6 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
         "pool), process (one worker per shard, hydrated from shard "
         "dumps, restart-on-crash); default: serial/thread by shard "
         "count",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="process-worker replicas per shard (implies --mode "
+        "process): reads round-robin across live replicas, a worker "
+        "death mid-task fails over to a sibling while the dead worker "
+        "respawns in the background, and /stats reports per-shard "
+        "replica liveness plus failover counters",
     )
     serve.add_argument("--position-sensitive", action="store_true")
     serve.add_argument(

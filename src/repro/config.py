@@ -70,6 +70,11 @@ class ContinuousClusteringQuery:
     #: count — see :mod:`repro.serving`). Only meaningful with
     #: ``match_shards`` > 1.
     match_mode: Optional[str] = None
+    #: Process-worker replicas per shard (> 1 implies
+    #: ``match_mode="process"``): reads route round-robin across live
+    #: replicas and fail over to a sibling when a worker dies
+    #: mid-task, instead of stalling on a respawn.
+    match_replicas: int = 1
     #: Coarse rungs of the inverted cell-signature index maintained
     #: during archival (empty = no inverted index).
     match_inverted_levels: Tuple[int, ...] = ()
@@ -90,6 +95,15 @@ class ContinuousClusteringQuery:
         validate_partition_key(self.match_shard_key)
         if self.match_mode is not None:
             validate_mode(self.match_mode)
+        if self.match_replicas < 1:
+            raise ValueError("match_replicas must be positive")
+        if self.match_replicas > 1 and self.match_mode in (
+            "serial", "thread",
+        ):
+            raise ValueError(
+                "match_replicas > 1 needs match_mode 'process' (or "
+                "unset, which then implies it)"
+            )
         self.match_inverted_levels = tuple(
             int(level) for level in self.match_inverted_levels
         )

@@ -391,6 +391,10 @@ class ShardedMatchEngine:
       the persistent thread pool for a multi-shard archive, the serial
       path for one shard or ``max_workers <= 1`` (useful under
       contention or for deterministic profiling);
+    * ``replicas`` spawns that many process workers per shard (implies
+      ``mode="process"`` when no mode is given): reads route
+      round-robin across live replicas, and a worker dying mid-task
+      fails over to a sibling instead of stalling on a respawn;
     * ``executor`` injects a prebuilt executor (the facade then does
       not own its lifecycle).
 
@@ -411,6 +415,7 @@ class ShardedMatchEngine:
         use_inverted: bool = True,
         max_workers: Optional[int] = None,
         mode: Optional[str] = None,
+        replicas: int = 1,
         executor=None,
     ):
         # Imported here, not at module level: repro.serving sits above
@@ -442,6 +447,7 @@ class ShardedMatchEngine:
         if max_workers is None:
             max_workers = len(self.engines)
         self.max_workers = max(0, int(max_workers))
+        self.replicas = max(1, int(replicas))
         if executor is not None:
             self._executor = executor
             self._owns_executor = False
@@ -451,6 +457,7 @@ class ShardedMatchEngine:
                 self.engines,
                 base=base,
                 max_workers=self.max_workers,
+                replicas=self.replicas,
                 worker_config={
                     "metric": {
                         "position_sensitive": self.spec.position_sensitive,

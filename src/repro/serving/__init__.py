@@ -12,7 +12,9 @@ long-lived deployment fronts it:
   with three interchangeable implementations: ``serial`` (in-process
   loop), ``thread`` (one persistent, lifecycle-managed pool), and
   ``process`` (multiprocessing workers that hydrate their shard once
-  from a persisted format-v3 dump and restart on crash);
+  from a persisted format-v3 dump and restart on crash; ``replicas=N``
+  runs N workers per shard with round-robin reads and mid-task
+  failover to a live sibling);
 * :mod:`repro.serving.wire` — the picklable/JSON-able wire forms of
   queries, results, and stats that cross the process and HTTP
   boundaries;

@@ -14,15 +14,21 @@ are interchangeable with identical answers:
   thread pool**, created at construction and shut down by ``close()``
   (the facade used to build a ``ThreadPoolExecutor`` per call; the
   pool is now owned for the executor's lifetime).
-* :class:`ProcessExecutor` — one OS process per shard. Each worker
-  **hydrates its shard once from a persisted format-v3 dump** (written
-  at construction through :func:`repro.archive.persistence.\
-dump_pattern_base`, inverted cell-signature section included, so
-  workers start with warm posting lists), then answers tasks over a
-  request/response queue pair. A worker that dies mid-task is
-  respawned from the same dump, post-dump ingests are replayed from a
-  journal, and the interrupted task is resubmitted — crash recovery
-  never changes answers, because shard answers are deterministic.
+* :class:`ProcessExecutor` — ``replicas`` OS processes per shard
+  (one by default). Each worker **hydrates its shard once from a
+  persisted format-v3 dump** (written at construction through
+  :func:`repro.archive.persistence.dump_pattern_base`, inverted
+  cell-signature section included, so workers start with warm posting
+  lists), then answers tasks over a request/response queue pair.
+  Reads route round-robin across a shard's live replicas; a replica
+  that dies with a read in flight triggers **failover** — the task is
+  resubmitted to a live sibling immediately while the dead worker
+  respawns in the background — and only a shard with *no* live
+  replica left falls back to the respawn-and-wait path. Ingests fan
+  out to every replica of the owning shard and are journaled (per
+  shard, **after** every replica acknowledged) for respawn replay.
+  Crash recovery never changes answers, because replicas hydrate from
+  the same dump and shard answers are deterministic.
 
 Results cross the process boundary as
 ``[pattern_id, distance, alignment]`` triples
@@ -35,9 +41,10 @@ from __future__ import annotations
 
 import os
 import queue as queue_module
-import sys
+import signal
 import tempfile
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.archive.pattern_base import ArchivedPattern, PatternBase
@@ -80,9 +87,19 @@ class ShardExecutor:
     its shard the executor serves from (a no-op for in-process modes,
     which share the caller's live archive); ``close`` releases owned
     resources and is idempotent. Executors are context managers.
+
+    The replica/failover surface is uniform: in-process modes serve
+    from the caller's one live archive, so they report one replica,
+    no liveness table, and zero failover counters.
     """
 
     mode: str = ""
+    #: Worker replicas per shard (only ``process`` mode runs real ones).
+    replica_count: int = 1
+    #: Workers respawned after a crash.
+    restarts: int = 0
+    #: Tasks retried on a live sibling replica after a worker death.
+    failovers: int = 0
 
     def __init__(self) -> None:
         self._closed = False
@@ -90,6 +107,11 @@ class ShardExecutor:
     @property
     def parallel(self) -> bool:
         return False
+
+    def replica_liveness(self) -> List[List[bool]]:
+        """Per-shard replica liveness (empty for in-process modes,
+        which have no worker processes to die)."""
+        return []
 
     @property
     def closed(self) -> bool:
@@ -167,7 +189,25 @@ class ThreadExecutor(ShardExecutor):
         futures = [
             self._pool.submit(work, engine) for engine in self.engines
         ]
-        return [future.result() for future in futures]
+        # Collect every future before propagating the first failure —
+        # abandoning in-flight siblings would leave them mutating
+        # shared engine state (ladder caches, stats) with the caller
+        # already unwinding.
+        results = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            if first_error is not None:
+                future.cancel()
+            try:
+                results.append(future.result())
+            except CancelledError:
+                pass
+            except BaseException as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
 
     def match(self, query):
         return self._fan_out(lambda engine: engine.match(query))
@@ -231,6 +271,13 @@ def _worker_main(dump_path, config, request_queue, response_queue):
                 reply = len(base)
             elif command == "ping":
                 reply = os.getpid()
+            elif command == "crash":
+                # Fault-injection hook (see ProcessExecutor.
+                # inject_crash): die mid-task, exactly like a SIGKILL
+                # from outside, after an optional delay that lets the
+                # parent submit real work behind this task first.
+                time.sleep(float(payload or 0.0))
+                os.kill(os.getpid(), signal.SIGKILL)
             else:
                 raise ValueError(f"unknown worker command {command!r}")
             response_queue.put((task_id, "ok", reply))
@@ -262,16 +309,50 @@ def _child_import_path() -> None:
         )
 
 
+class _Replica:
+    """One worker process (plus its queue pair) serving one shard."""
+
+    __slots__ = ("process", "requests", "responses")
+
+    def __init__(self, process, requests, responses):
+        self.process = process
+        self.requests = requests
+        self.responses = responses
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+#: Sentinel returned by the reply poll when the polled replica died
+#: with the task in flight.
+_DEAD = object()
+
+
 class ProcessExecutor(ShardExecutor):
-    """One multiprocessing worker per shard, restart-on-crash.
+    """``replicas`` multiprocessing workers per shard, with failover.
 
     Construction persists each shard to a format-v3 dump in an owned
-    temporary directory and spawns one worker per shard; each worker
-    hydrates from its dump exactly once and then answers match /
-    match_many / ingest tasks over its own queue pair. A worker found
-    dead while a task is in flight is respawned from the dump, the
-    post-dump ingest journal is replayed, and the task is resubmitted
-    (at most ``restart_limit`` times per task).
+    temporary directory and spawns ``replicas`` workers per shard;
+    each worker hydrates from its shard's dump exactly once and then
+    answers match / match_many / ingest tasks over its own queue pair.
+
+    **Reads** (match / match_many) route round-robin across a shard's
+    live replicas. A replica found dead with a read in flight fails
+    over: the task is resubmitted to a live sibling immediately and
+    the dead worker respawns in the background (its journal replay is
+    queued ahead of any future task, so it comes back consistent
+    without anyone waiting on it). Only when a shard has no live
+    replica left does the read wait for a synchronous respawn — the
+    single-replica legacy path. Per-task retries are bounded by
+    ``restart_limit``.
+
+    **Ingests** fan out to every replica of the owning shard and are
+    journaled per shard — *after* every replica acknowledged, so a
+    worker death mid-ingest (respawn replays the journal, then the
+    entry is resubmitted) applies the entry exactly once. Journaling
+    before submission made replay *and* resubmission both carry the
+    entry, and recovery died on the worker's duplicate-id error.
 
     ``resolve`` maps result pattern ids back to the caller's own
     archive records (typically ``ShardedPatternBase.get``), so the
@@ -288,15 +369,19 @@ class ProcessExecutor(ShardExecutor):
         resolve: Callable[[int], Optional[ArchivedPattern]],
         restart_limit: int = DEFAULT_RESTART_LIMIT,
         mp_start: str = "spawn",
+        replicas: int = 1,
     ):
         super().__init__()
         import multiprocessing
 
         if not shards:
             raise ValueError("ProcessExecutor needs at least one shard")
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
         self._config = dict(engine_config)
         self._resolve = resolve
         self.restart_limit = int(restart_limit)
+        self.replica_count = int(replicas)
         self._context = multiprocessing.get_context(mp_start)
         if mp_start != "fork":
             _child_import_path()
@@ -306,16 +391,21 @@ class ProcessExecutor(ShardExecutor):
             path = os.path.join(self._tempdir.name, f"shard-{index}.sgsa")
             dump_pattern_base(shard, path)
             self._dump_paths.append(path)
-        self._workers: List[object] = [None] * len(shards)
-        self._requests: List[object] = [None] * len(shards)
-        self._responses: List[object] = [None] * len(shards)
-        #: Ingests accepted after the hydration dump, replayed into a
-        #: respawned worker before any resubmission.
+        self._groups: List[List[Optional[_Replica]]] = [
+            [None] * self.replica_count for _ in shards
+        ]
+        #: Round-robin read cursor per shard.
+        self._cursor = [0] * len(shards)
+        #: Ingests accepted after the hydration dump (journaled only
+        #: once every replica acknowledged), replayed into respawned
+        #: workers before any later task.
         self._ingest_log: List[List[tuple]] = [[] for _ in shards]
         self._task_counter = 0
         self.restarts = 0
-        for index in range(len(shards)):
-            self._spawn(index)
+        self.failovers = 0
+        for shard in range(len(shards)):
+            for replica in range(self.replica_count):
+                self._spawn(shard, replica)
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -323,118 +413,237 @@ class ProcessExecutor(ShardExecutor):
 
     @property
     def shard_count(self) -> int:
-        return len(self._workers)
+        return len(self._groups)
 
     @property
     def parallel(self) -> bool:
         return self.shard_count > 1
 
     def worker_pids(self) -> List[int]:
-        return [worker.pid for worker in self._workers]
+        """Every worker pid, shard-major (one per shard at the default
+        ``replicas=1``)."""
+        return [rep.process.pid for group in self._groups for rep in group]
 
-    def _spawn(self, index: int) -> None:
+    def replica_pids(self) -> List[List[int]]:
+        return [
+            [rep.process.pid for rep in group] for group in self._groups
+        ]
+
+    def replica_liveness(self) -> List[List[bool]]:
+        return [
+            [rep is not None and rep.alive for rep in group]
+            for group in self._groups
+        ]
+
+    def inject_crash(
+        self, shard: int, replica: int, delay: float = 0.0
+    ) -> None:
+        """Fault-injection hook (tests / chaos drills): make one
+        replica worker SIGKILL itself after ``delay`` seconds and pin
+        the shard's read cursor to it, so the next read deterministically
+        lands on a worker that dies mid-task."""
+        self._check_open()
+        self._submit_to(shard, replica, "crash", float(delay))
+        self._cursor[shard] = replica
+
+    def _spawn(self, shard: int, replica: int) -> None:
         request_queue = self._context.Queue()
         response_queue = self._context.Queue()
         worker = self._context.Process(
             target=_worker_main,
             args=(
-                self._dump_paths[index],
+                self._dump_paths[shard],
                 self._config,
                 request_queue,
                 response_queue,
             ),
-            name=f"repro-shard-{index}",
+            name=f"repro-shard-{shard}r{replica}",
             daemon=True,
         )
         worker.start()
-        self._workers[index] = worker
-        self._requests[index] = request_queue
-        self._responses[index] = response_queue
+        self._groups[shard][replica] = _Replica(
+            worker, request_queue, response_queue
+        )
 
-    def _discard_queues(self, index: int) -> None:
-        for queues in (self._requests, self._responses):
-            channel = queues[index]
-            if channel is not None:
-                channel.close()
-                # Never block interpreter exit on a dead worker's
-                # unflushed feeder thread.
-                channel.cancel_join_thread()
-            queues[index] = None
+    def _discard(self, shard: int, replica: int) -> None:
+        rep = self._groups[shard][replica]
+        if rep is None:
+            return
+        for channel in (rep.requests, rep.responses):
+            channel.close()
+            # Never block interpreter exit on a dead worker's
+            # unflushed feeder thread.
+            channel.cancel_join_thread()
+        self._groups[shard][replica] = None
 
-    def _restart(self, index: int) -> None:
-        """Respawn a crashed worker from its dump and replay the
-        post-dump ingest journal."""
-        worker = self._workers[index]
-        if worker is not None:
-            worker.join(timeout=0.5)
-        self._discard_queues(index)
-        self._spawn(index)
+    def _respawn(self, shard: int, replica: int, wait: bool) -> None:
+        """Respawn one replica from its shard dump and queue the
+        ingest-journal replay. With ``wait=False`` the replay runs in
+        the background — the fresh worker applies it FIFO before any
+        later task, so nothing needs to block on it; ``wait=True``
+        (the no-live-sibling path) blocks until the replay is applied.
+        """
+        rep = self._groups[shard][replica]
+        if rep is not None:
+            rep.process.join(timeout=0.5)
+            self._discard(shard, replica)
+        self._spawn(shard, replica)
         self.restarts += 1
-        for entry in self._ingest_log[index]:
-            task_id = self._submit(index, "ingest", entry)
-            self._await(index, task_id, allow_restart=False)
+        replay_ids = [
+            self._submit_to(shard, replica, "ingest", entry)
+            for entry in self._ingest_log[shard]
+        ]
+        if wait:
+            for task_id in replay_ids:
+                if self._poll(shard, replica, task_id) is _DEAD:
+                    raise RuntimeError(
+                        f"shard {shard} replica {replica} died during "
+                        f"journal replay"
+                    )
 
     # ------------------------------------------------------------------
     # The task protocol
     # ------------------------------------------------------------------
 
-    def _submit(self, index: int, command: str, payload) -> int:
+    def _submit_to(self, shard: int, replica: int, command: str, payload) -> int:
         self._task_counter += 1
-        self._requests[index].put((self._task_counter, command, payload))
+        self._groups[shard][replica].requests.put(
+            (self._task_counter, command, payload)
+        )
         return self._task_counter
 
-    def _await(
-        self,
-        index: int,
-        task_id: int,
-        command: Optional[str] = None,
-        payload=None,
-        allow_restart: bool = True,
-    ):
-        """Wait for one task's reply, restarting the worker (and
-        resubmitting) if it dies with the task in flight."""
-        attempts = 0
+    def _poll(self, shard: int, replica: int, task_id: int):
+        """Wait for one task's reply on one replica; returns the reply
+        payload, or :data:`_DEAD` when the replica died first."""
+        rep = self._groups[shard][replica]
         while True:
             try:
-                reply_id, status, reply = self._responses[index].get(
+                reply_id, status, reply = rep.responses.get(
                     timeout=_POLL_SECONDS
                 )
             except queue_module.Empty:
-                if self._workers[index].is_alive():
+                if rep.alive:
                     continue
-                if not allow_restart or command is None:
-                    raise RuntimeError(
-                        f"shard worker {index} died during {command or 'replay'}"
-                    )
-                attempts += 1
-                if attempts > self.restart_limit:
-                    raise RuntimeError(
-                        f"shard worker {index} crashed {attempts} times "
-                        f"on one {command} task; giving up"
-                    )
-                self._restart(index)
-                task_id = self._submit(index, command, payload)
-                continue
+                return _DEAD
             if reply_id != task_id:
-                continue  # stale reply from before a restart
+                # The only replies not awaited on this queue are
+                # journal-replay acks from a background respawn; an
+                # error there means the replica's state diverged.
+                if status == "error":
+                    raise RuntimeError(
+                        f"shard {shard} replica {replica} journal "
+                        f"replay failed: {reply}"
+                    )
+                continue
             if status == "error":
                 raise RuntimeError(
-                    f"shard worker {index} failed: {reply}"
+                    f"shard worker {shard} failed: {reply}"
                 )
             return reply
 
+    def _live_sibling(self, shard: int, not_replica: int) -> Optional[int]:
+        group = self._groups[shard]
+        count = len(group)
+        for step in range(count):
+            replica = (self._cursor[shard] + step) % count
+            if replica == not_replica:
+                continue
+            rep = group[replica]
+            if rep is not None and rep.alive:
+                self._cursor[shard] = (replica + 1) % count
+                return replica
+        return None
+
+    def _pick(self, shard: int) -> int:
+        """Round-robin routing: the next live replica of a shard.
+        Replicas found dead at routing time are respawned in the
+        background (repair piggybacks on reads); if every replica is
+        dead, the read routes to the freshly respawned cursor replica —
+        its queued journal replay precedes the task, so answers stay
+        correct."""
+        group = self._groups[shard]
+        count = len(group)
+        chosen = None
+        for step in range(count):
+            replica = (self._cursor[shard] + step) % count
+            rep = group[replica]
+            if rep is not None and rep.alive:
+                if chosen is None:
+                    chosen = replica
+            else:
+                self._respawn(shard, replica, wait=False)
+        if chosen is None:
+            chosen = self._cursor[shard] % count
+        self._cursor[shard] = (chosen + 1) % count
+        return chosen
+
+    def _await_read(
+        self, shard: int, replica: int, task_id: int, command: str, payload
+    ):
+        """Collect one read's reply, failing over to a live sibling —
+        not waiting out a respawn — when the serving replica dies with
+        the task in flight."""
+        attempts = 0
+        while True:
+            reply = self._poll(shard, replica, task_id)
+            if reply is not _DEAD:
+                return reply
+            attempts += 1
+            if attempts > self.restart_limit:
+                raise RuntimeError(
+                    f"shard {shard} lost {attempts} workers on one "
+                    f"{command} task; giving up"
+                )
+            sibling = self._live_sibling(shard, replica)
+            if sibling is None:
+                # No live replica left: the respawn-and-wait path is
+                # all that remains (the single-replica deployment's
+                # only option).
+                self._respawn(shard, replica, wait=True)
+            else:
+                # Hot-path failover: the task moves to the sibling
+                # now; the dead worker rebuilds in the background.
+                self._respawn(shard, replica, wait=False)
+                self.failovers += 1
+                replica = sibling
+            task_id = self._submit_to(shard, replica, command, payload)
+
     def _fan_out(self, command: str, payload):
-        """Submit one task to every worker, then collect in shard
-        order — shards compute concurrently in their own processes."""
+        """Submit one task per shard (to its routed replica), then
+        collect in shard order — shards compute concurrently in their
+        own processes, and per-shard failover happens during collection
+        without stalling the other shards."""
         self._check_open()
-        task_ids = [
-            self._submit(index, command, payload)
-            for index in range(self.shard_count)
-        ]
+        slots = []
+        for shard in range(self.shard_count):
+            replica = self._pick(shard)
+            slots.append(
+                (replica, self._submit_to(shard, replica, command, payload))
+            )
         return [
-            self._await(index, task_ids[index], command, payload)
-            for index in range(self.shard_count)
+            self._await_read(shard, replica, task_id, command, payload)
+            for shard, (replica, task_id) in enumerate(slots)
         ]
+
+    def _await_ingest(
+        self, shard: int, replica: int, task_id: int, entry
+    ):
+        """Collect one replica's ingest ack; a replica dying mid-ingest
+        is respawned (journal replay first — the entry is *not* in the
+        journal yet) and the entry resubmitted, applying exactly once."""
+        attempts = 0
+        while True:
+            reply = self._poll(shard, replica, task_id)
+            if reply is not _DEAD:
+                return reply
+            attempts += 1
+            if attempts > self.restart_limit:
+                raise RuntimeError(
+                    f"shard {shard} replica {replica} crashed "
+                    f"{attempts} times on one ingest task; giving up"
+                )
+            self._respawn(shard, replica, wait=False)
+            task_id = self._submit_to(shard, replica, "ingest", entry)
 
     # ------------------------------------------------------------------
     # The executor surface
@@ -464,35 +673,58 @@ class ProcessExecutor(ShardExecutor):
         ]
 
     def ingest(self, shard_index: int, pattern: ArchivedPattern) -> None:
+        """Fan one archived pattern out to every replica of its shard.
+
+        The journal entry is appended only after *every* replica
+        acknowledged — a worker that dies mid-ingest is respawned
+        (replaying a journal that does not yet hold the entry) and the
+        entry resubmitted, so it applies exactly once. Appending
+        before submission was the crash-recovery double-apply bug:
+        the respawn replayed the entry *and* the await resubmitted it,
+        and the worker's duplicate-id error killed recovery.
+        """
         self._check_open()
         entry = (
             pattern.pattern_id,
             sgs_to_dict(pattern.sgs),
             pattern.full_size,
         )
+        group = self._groups[shard_index]
+        submitted = []
+        for replica in range(len(group)):
+            rep = group[replica]
+            if rep is None or not rep.alive:
+                # A dead replica still needs the entry: respawn it now
+                # (background replay first, FIFO before the entry).
+                self._respawn(shard_index, replica, wait=False)
+            submitted.append(
+                (replica, self._submit_to(shard_index, replica, "ingest", entry))
+            )
+        for replica, task_id in submitted:
+            self._await_ingest(shard_index, replica, task_id, entry)
         self._ingest_log[shard_index].append(entry)
-        task_id = self._submit(shard_index, "ingest", entry)
-        self._await(shard_index, task_id, "ingest", entry)
 
     def close(self) -> None:
         if self._closed:
             return
-        for index, worker in enumerate(self._workers):
-            if worker is None:
-                continue
-            try:
-                if worker.is_alive():
-                    self._requests[index].put(None)
-            except (ValueError, OSError):
-                pass
-        for index, worker in enumerate(self._workers):
-            if worker is None:
-                continue
-            worker.join(timeout=2.0)
-            if worker.is_alive():
-                worker.terminate()
-                worker.join(timeout=1.0)
-            self._discard_queues(index)
+        for shard, group in enumerate(self._groups):
+            for rep in group:
+                if rep is None:
+                    continue
+                try:
+                    if rep.alive:
+                        rep.requests.put(None)
+                except (ValueError, OSError):
+                    pass
+        for shard, group in enumerate(self._groups):
+            for replica, rep in enumerate(group):
+                if rep is None:
+                    continue
+                rep.process.join(timeout=2.0)
+                if rep.alive:
+                    rep.process.terminate()
+                    rep.process.join(timeout=1.0)
+                self._discard(shard, replica)
         self._tempdir.cleanup()
         super().close()
 
@@ -509,19 +741,36 @@ def build_executor(
     base=None,
     max_workers: Optional[int] = None,
     worker_config: Optional[Dict[str, object]] = None,
+    replicas: int = 1,
 ) -> ShardExecutor:
     """Construct the executor for a deployment mode.
 
     ``mode=None`` keeps the facade's historical default: serial for a
-    single shard (or ``max_workers <= 1``), the thread pool otherwise.
-    ``process`` additionally needs ``base`` (the partitioned archive,
-    for shard dumps and result resolution) and ``worker_config`` (the
-    picklable engine construction arguments).
+    single shard (or ``max_workers <= 1``), the thread pool otherwise —
+    unless ``replicas > 1``, which implies process workers (replication
+    only exists as worker processes). An explicit in-process mode with
+    ``replicas > 1`` is a contradiction and raises. ``process``
+    additionally needs ``base`` (the partitioned archive, for shard
+    dumps and result resolution) and ``worker_config`` (the picklable
+    engine construction arguments).
     """
+    replicas = int(replicas)
+    if replicas < 1:
+        raise ValueError("replicas must be positive")
     if mode is None:
-        workers = len(engines) if max_workers is None else int(max_workers)
-        mode = "thread" if len(engines) > 1 and workers > 1 else "serial"
+        if replicas > 1:
+            mode = "process"
+        else:
+            workers = (
+                len(engines) if max_workers is None else int(max_workers)
+            )
+            mode = "thread" if len(engines) > 1 and workers > 1 else "serial"
     validate_mode(mode)
+    if mode in ("serial", "thread") and replicas > 1:
+        raise ValueError(
+            f"replicas={replicas} needs process mode; {mode!r} serves "
+            f"from the caller's one live archive"
+        )
     if mode == "serial":
         return SerialExecutor(engines)
     if mode == "thread":
@@ -530,4 +779,6 @@ def build_executor(
         raise ValueError(
             "process mode needs the partitioned base and a worker config"
         )
-    return ProcessExecutor(base.shards(), worker_config, base.get)
+    return ProcessExecutor(
+        base.shards(), worker_config, base.get, replicas=replicas
+    )

@@ -19,6 +19,14 @@ Bodies and answers are JSON; a malformed request answers 400 with
 server threads only decode and encode here — every operation runs
 under the service's own lock, so threading the HTTP layer costs no
 determinism.
+
+Error replies never poison the HTTP/1.1 keep-alive stream: a request
+rejected *before* its body was read (oversized, unknown path) has the
+unread bytes drained — bounded by :data:`DRAIN_LIMIT_BYTES` — so the
+next request on the same socket starts at a request line, and when
+draining is unreasonable (body too large, or a malformed
+``Content-Length`` that leaves the stream unparseable) the reply
+carries ``Connection: close`` instead.
 """
 
 from __future__ import annotations
@@ -34,12 +42,20 @@ __all__ = ["MatchRequestHandler", "make_server"]
 #: Largest accepted request body, a guard against runaway posts.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: Largest unread body an error reply will drain to keep the
+#: connection reusable; anything bigger closes the connection instead.
+DRAIN_LIMIT_BYTES = 1024 * 1024
+
 
 class MatchRequestHandler(BaseHTTPRequestHandler):
     """Routes the five service endpoints; JSON in, JSON out."""
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    #: Class attributes, not module constants, so deployments (and the
+    #: regression tests) can tighten them per handler.
+    max_body_bytes = MAX_BODY_BYTES
+    drain_limit = DRAIN_LIMIT_BYTES
 
     @property
     def service(self) -> MatchService:
@@ -48,32 +64,73 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # quiet by default; the CLI
         pass  # announces the bound address once instead.
 
-    def _reply(self, status: int, payload) -> None:
+    def _reply(self, status: int, payload, close: bool = False) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if close:
+            # send_header("Connection", "close") also flips
+            # self.close_connection, so the server really hangs up.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
+    def _declared_body_length(self):
+        """The request's declared body length: an int, or ``None`` when
+        the Content-Length header is non-numeric (the stream position
+        of the next request is then unknowable)."""
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return 0
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return None
+
     def _read_json(self):
-        length = int(self.headers.get("Content-Length", 0))
+        length = self._declared_body_length()
+        if length is None:
+            raise ServiceError(
+                "malformed Content-Length header "
+                f"{self.headers.get('Content-Length')!r}"
+            )
         if length <= 0:
             raise ServiceError("request body is required")
-        if length > MAX_BODY_BYTES:
+        if length > self.max_body_bytes:
             raise ServiceError("request body too large")
-        return json.loads(self.rfile.read(length))
+        data = self.rfile.read(length)
+        self._unread_body = 0
+        return json.loads(data)
+
+    def _reply_error(self, status: int, message: str) -> None:
+        """Answer an error without corrupting the keep-alive stream:
+        drain the unread body (bounded) so the socket stays reusable,
+        or close the connection when the stream can't be resynced."""
+        unread = self._unread_body
+        close = False
+        if unread is None:
+            close = True  # unknown body length: no way to resync
+        elif unread > 0:
+            if unread <= self.drain_limit:
+                self.rfile.read(unread)
+            else:
+                close = True
+        self._reply(status, {"error": message}, close=close)
 
     def _dispatch(self, handler, with_body: bool) -> None:
+        # Until _read_json consumes it, the declared body is pending on
+        # the socket; error replies must account for it.
+        self._unread_body = self._declared_body_length() if with_body else 0
         try:
             payload = self._read_json() if with_body else None
             answer = handler(payload) if with_body else handler()
             self._reply(200, answer)
         except (ServiceError, json.JSONDecodeError) as error:
-            self._reply(400, {"error": str(error)})
+            self._reply_error(400, str(error))
         except Exception as error:  # a crash must answer, not hang the
             # client: the connection is keep-alive under HTTP/1.1.
-            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+            self._reply_error(500, f"{type(error).__name__}: {error}")
 
     def do_GET(self) -> None:
         if self.path == "/healthz":
@@ -81,7 +138,8 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         elif self.path == "/stats":
             self._dispatch(self.service.stats, with_body=False)
         else:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+            self._unread_body = 0
+            self._reply_error(404, f"unknown path {self.path}")
 
     def do_POST(self) -> None:
         routes = {
@@ -91,7 +149,9 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         }
         handler = routes.get(self.path)
         if handler is None:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+            # The unknown-path reply still owes the stream its body.
+            self._unread_body = self._declared_body_length()
+            self._reply_error(404, f"unknown path {self.path}")
             return
         self._dispatch(handler, with_body=True)
 

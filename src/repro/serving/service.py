@@ -66,6 +66,7 @@ class MatchService:
         mode: Optional[str] = None,
         coarse_level: int = 0,
         max_alignment_expansions: int = 32,
+        replicas: int = 1,
     ):
         self.base = base
         self.engine = ShardedMatchEngine(
@@ -74,6 +75,7 @@ class MatchService:
             coarse_level=coarse_level,
             max_alignment_expansions=max_alignment_expansions,
             mode=mode,
+            replicas=replicas,
         )
         self._lock = threading.Lock()
         self._counters = {
@@ -94,14 +96,17 @@ class MatchService:
         coarse_level: int = 0,
         max_alignment_expansions: int = 32,
         inverted_levels: Optional[Sequence[int]] = None,
+        replicas: int = 1,
     ) -> "MatchService":
         """Hydrate a service from a persisted archive file.
 
         The archive is partitioned into ``shards`` by ``shard_key``
         (1 shard is a valid deployment — the seam still applies, e.g.
-        ``mode="process"`` serves from one worker). A format-v3 dump's
-        inverted signatures transfer to the shards without
-        recomputation.
+        ``mode="process"`` serves from one worker). ``replicas``
+        spawns that many process workers per shard for failover
+        (implying ``mode="process"`` when no mode is given). A
+        format-v3 dump's inverted signatures transfer to the shards
+        without recomputation.
         """
         base = load_pattern_base(path)
         if inverted_levels:
@@ -117,6 +122,7 @@ class MatchService:
             mode=mode,
             coarse_level=coarse_level,
             max_alignment_expansions=max_alignment_expansions,
+            replicas=replicas,
         )
 
     # ------------------------------------------------------------------
@@ -217,6 +223,7 @@ class MatchService:
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
+            executor = self.engine.executor
             return {
                 "archive_size": len(self.base),
                 "shards": self.base.shard_count,
@@ -226,6 +233,15 @@ class MatchService:
                 "parallel": self.engine.parallel,
                 "metric": metric_to_wire(self.engine.spec),
                 "coarse_level": self.engine.coarse_level,
+                # Replica health: worker replicas per shard, which are
+                # currently alive, and how often reads failed over to
+                # a sibling / workers were respawned. In-process modes
+                # report one implicit replica and an empty liveness
+                # table (there are no worker processes to die).
+                "replicas": executor.replica_count,
+                "replica_liveness": executor.replica_liveness(),
+                "failovers": executor.failovers,
+                "restarts": executor.restarts,
                 "requests": dict(self._counters),
             }
 

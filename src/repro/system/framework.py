@@ -68,6 +68,7 @@ class StreamPatternMiningSystem:
         match_shard_key: Optional[str] = None,
         match_inverted_levels: Optional[Sequence[int]] = None,
         match_mode: Optional[str] = None,
+        match_replicas: Optional[int] = None,
     ):
         self.extractor = PatternExtractor(
             theta_range,
@@ -79,13 +80,15 @@ class StreamPatternMiningSystem:
         )
         shards = 1 if match_shards is None else int(match_shards)
         shard_key = "window" if match_shard_key is None else match_shard_key
+        replicas = 1 if match_replicas is None else int(match_replicas)
         inverted_levels = (
             tuple(match_inverted_levels) if match_inverted_levels else None
         )
         # An explicit deployment mode forces the sharded serving path
         # even over a single shard — the executor seam still applies
-        # (e.g. match_mode="process" serves from one worker).
-        if shards > 1 or match_mode is not None:
+        # (e.g. match_mode="process" serves from one worker, and
+        # match_replicas > 1 serves from a replicated worker group).
+        if shards > 1 or match_mode is not None or replicas > 1:
             self.pattern_base = ShardedPatternBase(
                 shards, shard_key, inverted_levels=inverted_levels
             )
@@ -112,6 +115,7 @@ class StreamPatternMiningSystem:
                 max_alignment_expansions=expansions,
                 coarse_level=coarse,
                 mode=match_mode,
+                replicas=replicas,
             )
             # Archival must flow through the facade so executors that
             # keep their own shard copies (process workers) hear about
@@ -164,6 +168,7 @@ class StreamPatternMiningSystem:
             "match_shard_key",
             "match_inverted_levels",
             "match_mode",
+            "match_replicas",
         ):
             if kwargs.get(name) is None:
                 kwargs[name] = getattr(query, name)

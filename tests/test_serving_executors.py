@@ -19,6 +19,7 @@ persisted format-v3 workload the golden fixtures pin):
 
 import os
 import signal
+import threading
 import time
 
 import pytest
@@ -177,6 +178,46 @@ def test_killed_worker_restarts_and_answers_stay_correct(flat_base):
         assert extra.pattern_id in after
 
 
+def test_sigkill_during_ingest_recovers_without_double_apply(flat_base):
+    """The crash-recovery regression: an ingest in flight when its
+    worker dies must apply exactly once. The journal entry used to be
+    appended *before* submission, so the respawn replayed it and the
+    resubmission applied it again — the worker's duplicate-id error
+    then killed recovery with a spurious RuntimeError."""
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    sgs = flat_base.get(
+        sorted(p.pattern_id for p in flat_base.all_patterns())[0]
+    ).sgs
+    with ShardedMatchEngine(sharded, mode="process") as engine:
+        executor = engine.executor
+        # A healthy ingest first, so the respawn has a journal to
+        # replay alongside the interrupted entry.
+        first = engine.ingest(sgs, 11)
+        victim = sharded.shard_index_of(first.pattern_id)
+        # Death discovered at submit time: the worker is already gone
+        # when the next ingest for its shard arrives.
+        os.kill(executor.worker_pids()[victim], signal.SIGKILL)
+        time.sleep(0.05)
+        second = engine.ingest(sgs, 12)  # raised RuntimeError pre-fix
+        assert executor.restarts == 1
+        # Death mid-task: the worker picks up the ingest, then dies
+        # while it is in flight; the respawn replays both journaled
+        # entries and the interrupted one is resubmitted once.
+        executor.inject_crash(victim, 0, delay=0.1)
+        third = engine.ingest(sgs, 13)
+        assert executor.restarts == 2
+        probe = MatchQuery(sgs=sgs, threshold=0.0, metric=engine.spec)
+        matched = {pid for pid, _, _ in _exact(engine.match(probe)[0])}
+        assert {
+            first.pattern_id, second.pattern_id, third.pattern_id
+        } <= matched
+        # The worker replicas agree with the live base exactly.
+        with ShardedMatchEngine(sharded, mode="serial") as oracle:
+            assert _exact(engine.match(probe)[0]) == _exact(
+                oracle.match(probe)[0]
+            )
+
+
 def test_worker_crash_budget_is_bounded(flat_base):
     sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
     query = _query_panel(flat_base)[0]
@@ -192,8 +233,152 @@ def test_worker_crash_budget_is_bounded(flat_base):
 
 
 # ----------------------------------------------------------------------
+# Replicated read shards: round-robin routing, failover on death
+# ----------------------------------------------------------------------
+
+
+def test_replicated_executor_answers_stay_byte_identical(flat_base):
+    """Replication is placement, never semantics: N replicas per shard
+    answer exactly what the serial single-copy engine answers, on
+    every round of the round-robin rotation."""
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    panel = _query_panel(flat_base)[:4]
+    with ShardedMatchEngine(sharded, mode="serial") as oracle:
+        expected = [_exact(r) for r, _ in oracle.match_many(panel)]
+    with ShardedMatchEngine(sharded, mode="process", replicas=2) as engine:
+        executor = engine.executor
+        assert executor.replica_count == 2
+        assert executor.replica_liveness() == [[True, True], [True, True]]
+        # Three rounds cycle every replica through the read path.
+        for _ in range(3):
+            batched = engine.match_many(panel)
+            assert [_exact(r) for r, _ in batched] == expected
+        solo, _ = engine.match(panel[0])
+        assert _exact(solo) == expected[0]
+        assert executor.failovers == 0
+        assert executor.restarts == 0
+
+
+def test_failover_kill_each_replica_in_turn(flat_base):
+    """Kill every replica of every shard, one per batch: each death is
+    discovered with the batch task in flight, the task completes on
+    the live sibling (no respawn wait on the hot path), the dead
+    worker respawns in the background, and the merged answers never
+    change."""
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    panel = _query_panel(flat_base)[:4]
+    with ShardedMatchEngine(sharded, mode="serial") as oracle:
+        expected = [_exact(r) for r, _ in oracle.match_many(panel)]
+    with ShardedMatchEngine(sharded, mode="process", replicas=2) as engine:
+        executor = engine.executor
+        kills = 0
+        for shard in range(2):
+            for replica in range(2):
+                executor.inject_crash(shard, replica, delay=0.1)
+                kills += 1
+                batched = engine.match_many(panel)
+                assert [_exact(r) for r, _ in batched] == expected, (
+                    f"answers diverged after killing shard {shard} "
+                    f"replica {replica}"
+                )
+                assert executor.failovers == kills, (
+                    "the in-flight task did not fail over to a sibling"
+                )
+        assert executor.restarts == kills
+        # Every killed worker came back: a healthy rotation sees only
+        # live replicas.
+        assert executor.replica_liveness() == [[True, True], [True, True]]
+
+
+def test_failover_all_replicas_of_one_shard_killed(flat_base):
+    """When every replica of a shard dies mid-batch there is no
+    sibling to fail over to — the read falls back to respawn-and-wait
+    and the answers are still byte-identical."""
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    panel = _query_panel(flat_base)[:4]
+    with ShardedMatchEngine(sharded, mode="serial") as oracle:
+        expected = [_exact(r) for r, _ in oracle.match_many(panel)]
+    with ShardedMatchEngine(sharded, mode="process", replicas=2) as engine:
+        executor = engine.executor
+        executor.inject_crash(0, 0, delay=0.08)
+        executor.inject_crash(0, 1, delay=0.08)
+        batched = engine.match_many(panel)
+        assert [_exact(r) for r, _ in batched] == expected
+        assert executor.restarts >= 1
+        # The next healthy batch repairs whatever is still down.
+        batched = engine.match_many(panel)
+        assert [_exact(r) for r, _ in batched] == expected
+        assert executor.replica_liveness()[0] == [True, True]
+        assert executor.restarts >= 2
+
+
+def test_failover_retry_is_bounded(flat_base):
+    """A task may not chase dying workers forever: once its retries
+    exceed restart_limit the executor gives up loudly."""
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    query = _query_panel(flat_base)[0]
+    with ShardedMatchEngine(sharded, mode="process", replicas=2) as engine:
+        executor = engine.executor
+        executor.restart_limit = 0
+        executor.inject_crash(0, 0, delay=0.05)
+        executor.inject_crash(0, 1, delay=0.05)
+        with pytest.raises(RuntimeError, match="giving up"):
+            engine.match(query)
+
+
+def test_build_executor_replicas_validation(flat_base):
+    sharded = ShardedPatternBase.from_base(flat_base, 2, "window")
+    with ShardedMatchEngine(sharded, mode="serial") as donor:
+        engines = donor.engines
+        with pytest.raises(ValueError):
+            build_executor("thread", engines, replicas=2)
+        with pytest.raises(ValueError):
+            build_executor("serial", engines, replicas=2)
+        with pytest.raises(ValueError):
+            build_executor(None, engines, replicas=0)
+    # Asking for replicas without a mode means process workers.
+    with ShardedMatchEngine(sharded, replicas=2) as engine:
+        assert engine.mode == "process"
+        assert engine.executor.replica_count == 2
+        assert engine.replicas == 2
+
+
+# ----------------------------------------------------------------------
 # Lifecycle: one pool per executor, close semantics, validation
 # ----------------------------------------------------------------------
+
+
+def test_thread_fan_out_collects_outstanding_futures_before_raising():
+    """Regression pin: a shard failure used to propagate immediately,
+    abandoning the sibling futures mid-run — they kept mutating shared
+    engine state while the caller was already unwinding."""
+
+    started = threading.Event()
+
+    class _Boom:
+        def match(self, query):
+            # Fail only once the sibling is genuinely in flight, so
+            # the error cannot cancel it while it is still queued.
+            assert started.wait(5.0)
+            raise ValueError("boom")
+
+    class _Slow:
+        def __init__(self):
+            self.done = threading.Event()
+
+        def match(self, query):
+            started.set()
+            time.sleep(0.2)
+            self.done.set()
+            return ([], None)
+
+    slow = _Slow()
+    with ThreadExecutor([_Boom(), slow], max_workers=2) as executor:
+        with pytest.raises(ValueError, match="boom"):
+            executor.match(None)
+        assert slow.done.is_set(), (
+            "the error propagated before the in-flight sibling finished"
+        )
 
 
 def test_thread_executor_builds_exactly_one_pool(flat_base, monkeypatch):

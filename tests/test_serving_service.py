@@ -7,9 +7,11 @@ process over a persisted archive: parse the printed bound port, ingest
 a pattern, match, and compare against the in-process golden answer.
 """
 
+import http.client
 import json
 import os
 import re
+import socket
 import subprocess
 import sys
 import threading
@@ -26,7 +28,7 @@ from repro.retrieval import (
     ShardedMatchEngine,
     ShardedPatternBase,
 )
-from repro.serving.httpd import make_server
+from repro.serving.httpd import MatchRequestHandler, make_server
 from repro.serving.service import MatchService, ServiceError
 
 
@@ -99,6 +101,25 @@ def test_healthz_and_stats(served):
     assert stats["mode"] == service.mode
     assert sum(stats["shard_sizes"]) == stats["archive_size"]
     assert stats["requests"]["queries"] == 0
+    # Replication keys are present even for the unreplicated serial
+    # deployment, so dashboards can rely on the shape.
+    assert stats["replicas"] == 1
+    assert stats["replica_liveness"] == []
+    assert stats["failovers"] == 0
+
+
+def test_stats_expose_replica_liveness(archive_path):
+    """A replicated deployment reports per-shard replica liveness and
+    failover counters through the same /stats surface."""
+    with MatchService.from_archive(
+        archive_path, shards=2, mode="process", replicas=2
+    ) as service:
+        stats = service.stats()
+        assert stats["mode"] == "process"
+        assert stats["replicas"] == 2
+        assert stats["replica_liveness"] == [[True, True], [True, True]]
+        assert stats["failovers"] == 0
+        assert stats["restarts"] == 0
 
 
 @pytest.mark.parametrize(
@@ -206,6 +227,137 @@ def test_error_paths(served):
     except urllib.error.HTTPError as error:
         status = error.code
     assert status == 400
+
+
+@pytest.fixture()
+def small_body_server(archive_path, monkeypatch):
+    """A live server whose body cap is small enough to trip from a
+    test, for the keep-alive regressions."""
+    monkeypatch.setattr(MatchRequestHandler, "max_body_bytes", 16 * 1024)
+    service = MatchService.from_archive(archive_path, shards=2)
+    server, host, port = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield host, port
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+def _match_payload(base):
+    return json.dumps(
+        {"sgs": sgs_to_dict(_query_sgs(base)), "threshold": 0.5}
+    ).encode("utf-8")
+
+
+def test_keep_alive_survives_rejected_oversized_body(
+    small_body_server, flat_base
+):
+    """Regression pin: a 400 for an oversized body used to leave the
+    body bytes unread on the keep-alive socket, so the *next* request
+    on the same connection was parsed out of the middle of the stale
+    body. The error path must drain (or close) before replying."""
+    host, port = small_body_server
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        oversized = b"x" * 100_000  # > the patched 16 KB cap
+        conn.request(
+            "POST", "/match", body=oversized,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+        assert resp.status == 400
+        assert "body too large" in body["error"]
+        # Same socket, next request: must parse cleanly from a drained
+        # stream. Pre-fix this came back as 400 "Bad request syntax".
+        conn.request(
+            "POST", "/match", body=_match_payload(flat_base),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        answer = json.loads(resp.read())
+        assert resp.status == 200
+        assert answer["results"]
+    finally:
+        conn.close()
+
+
+def test_keep_alive_survives_404_with_body(small_body_server, flat_base):
+    """The 404 error path (unknown POST route) also replies without
+    consuming the request body — same drain requirement."""
+    host, port = small_body_server
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(
+            "POST", "/nope", body=b'{"some": "payload"}',
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.status == 404
+        conn.request(
+            "POST", "/match", body=_match_payload(flat_base),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        json.loads(resp.read())
+        assert resp.status == 200
+    finally:
+        conn.close()
+
+
+def test_oversized_body_beyond_drain_limit_closes_connection(
+    small_body_server, monkeypatch
+):
+    """When the rejected body is too large to drain cheaply the server
+    must advertise ``Connection: close`` instead of silently leaving a
+    poisoned keep-alive socket."""
+    monkeypatch.setattr(MatchRequestHandler, "drain_limit", 2048)
+    host, port = small_body_server
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(
+            "POST", "/match", body=b"x" * 100_000,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.status == 400
+        assert resp.getheader("Connection") == "close"
+    finally:
+        conn.close()
+
+
+def test_malformed_content_length_is_a_400_not_a_500(small_body_server):
+    """Regression pin: ``Content-Length: banana`` used to raise
+    ValueError inside the handler and surface as a 500. It is a client
+    error — 400, with the connection closed (the body length is
+    unknowable, so the stream cannot be re-synchronized)."""
+    host, port = small_body_server
+    with socket.create_connection((host, port), timeout=30) as raw:
+        raw.sendall(
+            b"POST /match HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: banana\r\n"
+            b"\r\n"
+        )
+        raw.settimeout(30)
+        chunks = []
+        while True:
+            chunk = raw.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        response = b"".join(chunks)
+    status_line = response.split(b"\r\n", 1)[0]
+    assert b"400" in status_line, response[:200]
+    assert b"500" not in status_line
+    assert b"connection: close" in response.lower()
 
 
 def test_service_rejects_malformed_payloads_directly(archive_path):
