@@ -40,9 +40,11 @@ rebuilds signatures from the stored summaries.
 from __future__ import annotations
 
 import io
+import os
 import struct
+import tempfile
 from pathlib import Path
-from typing import BinaryIO, Union
+from typing import BinaryIO, Optional, Union
 
 from repro.archive.pattern_base import ArchivedPattern, PatternBase
 from repro.core.serialize import sgs_from_bytes, sgs_to_bytes
@@ -64,10 +66,30 @@ def dump_pattern_base(base, target: Union[PathLike, BinaryIO]) -> int:
     merged contents; reloading yields one flat base to re-partition
     with ``ShardedPatternBase.from_base``). Returns the number of bytes
     written.
+
+    Path targets are written atomically: the bytes go to a temporary
+    file in the same directory, are flushed and fsynced, and only then
+    replace the target — a crash mid-dump can never leave a torn file
+    shadowing the previous good archive.
     """
     if isinstance(target, (str, Path)):
-        with open(target, "wb") as handle:
-            return dump_pattern_base(base, handle)
+        directory = os.path.dirname(os.path.abspath(os.fspath(target)))
+        fd, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".sgsa-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                written = dump_pattern_base(base, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, target)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return written
     written = 0
     patterns = sorted(base.all_patterns(), key=lambda p: p.pattern_id)
     header = _MAGIC + struct.pack("<II", _VERSION, len(patterns))
@@ -108,7 +130,10 @@ def _dump_inverted_section(base, patterns, target: BinaryIO) -> int:
     return len(blob)
 
 
-def load_pattern_base(source: Union[PathLike, BinaryIO]) -> PatternBase:
+def load_pattern_base(
+    source: Union[PathLike, BinaryIO],
+    store: Optional[Union[str, object]] = None,
+) -> PatternBase:
     """Read an archive written by :func:`dump_pattern_base`.
 
     Pattern ids (and, for v2+ files, the per-pattern ladder-hint bytes)
@@ -116,14 +141,23 @@ def load_pattern_base(source: Union[PathLike, BinaryIO]) -> PatternBase:
     load through the Pattern Base's public :meth:`restore` seam, and a
     v3 inverted section restores the inverted cell-signature index
     without recomputing any signature.
+
+    ``store`` names the backend the loaded base should live on (a spec
+    string like ``"sqlite:PATH"`` or an open
+    :class:`~repro.archive.store.PatternStore`; ``None`` = in-memory).
+    The import runs as one bulk transaction: a truncated or corrupt
+    dump raises :class:`ValueError` and rolls a durable store back to
+    its pre-load state — no partial archive survives on disk.
     """
     if isinstance(source, (str, Path)):
         with open(source, "rb") as handle:
-            return load_pattern_base(handle)
-    header = source.read(len(_MAGIC) + 8)
-    if header[: len(_MAGIC)] != _MAGIC:
+            return load_pattern_base(handle, store=store)
+    magic = source.read(len(_MAGIC))
+    if magic != _MAGIC:
         raise ValueError("not a Pattern Base archive file")
-    version, count = struct.unpack_from("<II", header, len(_MAGIC))
+    version, count = struct.unpack(
+        "<II", _read_exact(source, 8, "file header")
+    )
     if version == 1:
         record_format = "<III"
     elif version in (2, _VERSION):
@@ -131,40 +165,45 @@ def load_pattern_base(source: Union[PathLike, BinaryIO]) -> PatternBase:
     else:
         raise ValueError(f"unsupported archive version {version}")
     record_size = struct.calcsize(record_format)
-    base = PatternBase()
-    pattern_ids = []
-    for _ in range(count):
-        record = source.read(record_size)
-        if len(record) != record_size:
-            raise ValueError("truncated archive: missing pattern record")
-        if version == 1:
-            pattern_id, full_size, blob_length = struct.unpack(
-                record_format, record
+    base = PatternBase(store=store)
+    backing = base.store
+    backing.begin_bulk()
+    try:
+        pattern_ids = []
+        for _ in range(count):
+            record = _read_exact(source, record_size, "pattern record")
+            if version == 1:
+                pattern_id, full_size, blob_length = struct.unpack(
+                    record_format, record
+                )
+                ladder_hint = 0
+            else:
+                (
+                    pattern_id, full_size, ladder_hint, blob_length,
+                ) = struct.unpack(record_format, record)
+            blob = _read_exact(source, blob_length, "SGS blob")
+            sgs = sgs_from_bytes(blob)
+            base.restore(
+                ArchivedPattern(
+                    pattern_id, sgs, full_size, ladder_hint=ladder_hint
+                )
             )
-            ladder_hint = 0
-        else:
-            pattern_id, full_size, ladder_hint, blob_length = struct.unpack(
-                record_format, record
-            )
-        blob = source.read(blob_length)
-        if len(blob) != blob_length:
-            raise ValueError("truncated archive: missing SGS blob")
-        sgs = sgs_from_bytes(blob)
-        base.restore(
-            ArchivedPattern(
-                pattern_id, sgs, full_size, ladder_hint=ladder_hint
-            )
-        )
-        pattern_ids.append(pattern_id)
-    if version >= _VERSION:
-        _load_inverted_section(base, sorted(pattern_ids), source)
+            pattern_ids.append(pattern_id)
+        if version >= _VERSION:
+            _load_inverted_section(base, sorted(pattern_ids), source)
+    except BaseException:
+        backing.end_bulk(success=False)
+        raise
+    backing.end_bulk(success=True)
     return base
 
 
-def _read_exact(source: BinaryIO, size: int) -> bytes:
+def _read_exact(
+    source: BinaryIO, size: int, what: str = "inverted section"
+) -> bytes:
     blob = source.read(size)
     if len(blob) != size:
-        raise ValueError("truncated archive: missing inverted section")
+        raise ValueError(f"truncated archive: missing {what}")
     return blob
 
 

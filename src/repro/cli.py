@@ -23,7 +23,15 @@ Examples::
         --threshold 0.25 --top 5
     python -m repro.cli serve --archive history.sgsa --shards 4 \
         --mode process --port 8765
+    python -m repro.cli run --input stream.csv --theta-range 2.5 \
+        --theta-count 8 --win 2000 --slide 500 --store sqlite:history.db
+    python -m repro.cli serve --store sqlite:history.db --port 8765
     python -m repro.cli show --archive history.sgsa --pattern 12
+
+``--store sqlite:PATH`` swaps the monolithic dump for the disk-backed
+pattern store of :mod:`repro.archive.store`: ``run`` commits each
+pattern as it archives (crash-safe), and ``match`` / ``serve`` open
+the store directly so cold start skips the full dump load.
 """
 
 from __future__ import annotations
@@ -109,24 +117,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         match_inverted_levels=(
             _parse_inverted_levels(args.inverted_levels) or None
         ),
+        store=args.store,
     )
-    for output in system.run_steps(objects, max_windows=args.max_windows):
-        digest = ", ".join(
-            f"#{c.cluster_id}:{c.size}obj/{len(s)}cells"
-            for c, s in zip(output.clusters, output.summaries)
-        )
-        print(f"window {output.window_index}: {digest or 'no clusters'}")
-    provider = system.extractor.algorithm.tracker.provider
-    if args.index_backend == "auto":
-        print(
-            f"auto backend: ran on {provider.backend_name} "
-            f"({provider.switches} switches, "
-            f"walk cost {provider.walk_cost})"
-        )
-    print(f"archived {system.archived_count} patterns")
-    if args.archive:
-        written = dump_pattern_base(system.pattern_base, args.archive)
-        print(f"persisted pattern base to {args.archive} ({written} bytes)")
+    try:
+        for output in system.run_steps(
+            objects, max_windows=args.max_windows
+        ):
+            digest = ", ".join(
+                f"#{c.cluster_id}:{c.size}obj/{len(s)}cells"
+                for c, s in zip(output.clusters, output.summaries)
+            )
+            print(f"window {output.window_index}: {digest or 'no clusters'}")
+        provider = system.extractor.algorithm.tracker.provider
+        if args.index_backend == "auto":
+            print(
+                f"auto backend: ran on {provider.backend_name} "
+                f"({provider.switches} switches, "
+                f"walk cost {provider.walk_cost})"
+            )
+        print(f"archived {system.archived_count} patterns")
+        if args.store:
+            print(f"pattern base durable in {args.store}")
+        if args.archive:
+            written = dump_pattern_base(system.pattern_base, args.archive)
+            print(
+                f"persisted pattern base to {args.archive} "
+                f"({written} bytes)"
+            )
+    finally:
+        system.close()
     return 0
 
 
@@ -158,8 +177,29 @@ def _parse_inverted_levels(text: Optional[str]) -> tuple:
     return levels
 
 
+def _open_base(args: argparse.Namespace):
+    """The archive named by ``--archive`` / ``--store`` (either alone
+    works; a dump file plus an *empty* store imports the dump into the
+    store — the one-time migration path)."""
+    from repro.archive.pattern_base import PatternBase
+
+    if args.archive is None and args.store is None:
+        raise SystemExit("need --archive and/or --store")
+    if args.archive is None:
+        return PatternBase(store=args.store)
+    if args.store is None:
+        return load_pattern_base(args.archive)
+    probe = PatternBase(store=args.store)
+    if len(probe):
+        raise SystemExit(
+            f"store {args.store} already holds {len(probe)} patterns; "
+            "drop --archive to serve it directly"
+        )
+    return load_pattern_base(args.archive, store=probe.store)
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
-    base = load_pattern_base(args.archive)
+    base = _open_base(args)
     if args.pattern is not None:
         pattern = base.get(args.pattern)
         if pattern is None:
@@ -217,6 +257,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         results, stats = engine.match(query)
     finally:
         engine.close()
+        base.close()
     shard_note = ""
     if args.shards > 1:
         entries = "+".join(stats.plan.get("entries", []))
@@ -242,16 +283,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.httpd import make_server
     from repro.serving.service import MatchService
 
-    service = MatchService.from_archive(
-        args.archive,
-        shards=args.shards,
-        shard_key=args.shard_key,
-        spec=_metric_from_args(args),
-        mode=args.mode,
-        coarse_level=args.coarse_level,
-        inverted_levels=_parse_inverted_levels(args.inverted_levels) or None,
-        replicas=args.replicas,
-    )
+    from repro.serving.service import ServiceError
+
+    try:
+        service = MatchService.from_archive(
+            args.archive,
+            shards=args.shards,
+            shard_key=args.shard_key,
+            spec=_metric_from_args(args),
+            mode=args.mode,
+            coarse_level=args.coarse_level,
+            inverted_levels=(
+                _parse_inverted_levels(args.inverted_levels) or None
+            ),
+            replicas=args.replicas,
+            store=args.store,
+        )
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
     server, host, port = make_server(service, args.host, args.port)
     # One parseable line, flushed before serving: tests and scripts
     # read the bound port from it (important with --port 0).
@@ -338,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-windows", type=int, default=None)
     run.add_argument("--archive", default=None, help="persist pattern base")
     run.add_argument(
+        "--store", default=None, metavar="sqlite:PATH",
+        help="archive crash-safely to a disk-backed pattern store as "
+        "the run progresses (each pattern commits before the window "
+        "is acknowledged); 'sqlite:PATH[?cache=N]' or 'memory'",
+    )
+    run.add_argument(
         "--inverted-levels", default=None, metavar="L1,L2",
         help="maintain the inverted cell-signature index at these "
         "coarse rungs during archival (persisted with --archive as "
@@ -346,7 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     match = sub.add_parser("match", help="run a cluster matching query")
-    match.add_argument("--archive", required=True)
+    match.add_argument("--archive", default=None)
+    match.add_argument(
+        "--store", default=None, metavar="sqlite:PATH",
+        help="open a disk-backed pattern store directly (cold start "
+        "skips the full dump load); with --archive and an empty "
+        "store, imports the dump into the store first",
+    )
     match.add_argument("--pattern", type=int, default=None)
     match.add_argument("--query-json", default=None)
     match.add_argument("--threshold", type=float, default=0.25)
@@ -393,7 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a persisted archive over JSON/HTTP (always-on)",
     )
-    serve.add_argument("--archive", required=True)
+    serve.add_argument("--archive", default=None)
+    serve.add_argument(
+        "--store", default=None, metavar="sqlite:PATH",
+        help="serve straight from a disk-backed pattern store (cold "
+        "start reads metadata rows instead of loading a dump); with "
+        "--archive and an empty store, imports the dump first",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8765,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.archive.store import validate_store_spec
 from repro.geometry.coordstore import validate_refinement
 from repro.index.provider import validate_backend
 from repro.matching.metric import DistanceMetricSpec
@@ -78,6 +79,12 @@ class ContinuousClusteringQuery:
     #: Coarse rungs of the inverted cell-signature index maintained
     #: during archival (empty = no inverted index).
     match_inverted_levels: Tuple[int, ...] = ()
+    #: Where the archived patterns live (see
+    #: :mod:`repro.archive.store`): ``None``/``"memory"`` keeps the
+    #: in-process dict; ``"sqlite:PATH"`` archives crash-safely to a
+    #: disk-backed SQLite-WAL store, committing each pattern before
+    #: the archival is acknowledged.
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.theta_range <= 0:
@@ -109,6 +116,7 @@ class ContinuousClusteringQuery:
         )
         if any(level < 1 for level in self.match_inverted_levels):
             raise ValueError("match_inverted_levels must all be >= 1")
+        validate_store_spec(self.store)
         validate_backend(self.index_backend)
         validate_refinement(self.refinement)
 

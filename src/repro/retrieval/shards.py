@@ -185,6 +185,10 @@ class ShardedPatternBase:
         ]
         self._owner: Dict[int, int] = {}
         self._next_id = 0
+        #: Durable system of record behind the serving-time shard
+        #: layout (see :meth:`from_base`): new ingests write through to
+        #: it, removals delete from it. ``None`` = in-memory only.
+        self._origin_store = None
 
     @classmethod
     def from_base(
@@ -205,6 +209,13 @@ class ShardedPatternBase:
         coarsening arithmetic persistence exists to skip. The source
         base should be discarded afterwards — the stored pattern
         records are shared, not copied.
+
+        When the source base sits on a durable store (``sqlite:PATH``),
+        that store stays the system of record: shard layout is a
+        serving-time choice, so the sharded base adopts it as the
+        origin store — new ingests commit there before being
+        acknowledged, and removals delete there — while reads keep
+        hydrating through the shared stubs.
         """
         source_index = base.inverted_index()
         if inverted_levels is None and source_index is not None:
@@ -244,6 +255,9 @@ class ShardedPatternBase:
                         pattern.sgs.dimensions,
                     )
                 shard.attach_inverted(index)
+        source_store = getattr(base, "store", None)
+        if source_store is not None and source_store.durable:
+            sharded._origin_store = source_store
         return sharded
 
     # ------------------------------------------------------------------
@@ -303,9 +317,48 @@ class ShardedPatternBase:
             )
         index = self.shard_for(pattern)
         self._shards[index].restore(pattern)
+        if (
+            self._origin_store is not None
+            and pattern.pattern_id not in self._origin_store
+        ):
+            try:
+                self._write_through(index, pattern)
+            except BaseException:
+                self._shards[index].remove(pattern.pattern_id)
+                raise
         self._owner[pattern.pattern_id] = index
         self._next_id = max(self._next_id, pattern.pattern_id + 1)
         return pattern
+
+    def _write_through(
+        self, shard_index: int, pattern: ArchivedPattern
+    ) -> None:
+        """Commit a freshly-archived pattern to the origin store — with
+        the signatures the owning shard just computed — so the durable
+        record exists before the ingest is acknowledged."""
+        from repro.archive.store import feature_bins_for
+
+        inverted = self._shards[shard_index].inverted_index()
+        signatures = None
+        inverted_config = None
+        if inverted is not None:
+            signatures = {
+                level: inverted.signature(pattern.pattern_id, level).cells
+                for level in inverted.levels
+            }
+            inverted_config = (
+                inverted.levels,
+                inverted.factor,
+                pattern.sgs.dimensions,
+            )
+        self._origin_store.put(
+            pattern,
+            bins=feature_bins_for(
+                pattern.features.as_tuple(), self.bin_widths
+            ),
+            signatures=signatures,
+            inverted_config=inverted_config,
+        )
 
     def add_archived(self, pattern: ArchivedPattern) -> ArchivedPattern:
         return self.restore(pattern)
@@ -314,7 +367,10 @@ class ShardedPatternBase:
         index = self._owner.pop(pattern_id, None)
         if index is None:
             return False
-        return self._shards[index].remove(pattern_id)
+        removed = self._shards[index].remove(pattern_id)
+        if removed and self._origin_store is not None:
+            self._origin_store.delete(pattern_id)
+        return removed
 
     def get(self, pattern_id: int) -> Optional[ArchivedPattern]:
         shard = self.shard_of(pattern_id)
@@ -367,6 +423,29 @@ class ShardedPatternBase:
 
     def summary_bytes(self) -> int:
         return sum(shard.summary_bytes() for shard in self._shards)
+
+    @property
+    def store(self):
+        """The durable origin store behind the shard layout, or
+        ``None`` when the archive is in-memory only."""
+        return self._origin_store
+
+    def store_info(self) -> dict:
+        """JSON-able description of the backing store (for ``/stats``)."""
+        if self._origin_store is not None:
+            return self._origin_store.describe()
+        return {
+            "backend": "memory",
+            "durable": False,
+            "patterns": len(self),
+        }
+
+    def close(self) -> None:
+        """Release the origin store and the shard bases; idempotent."""
+        for shard in self._shards:
+            shard.close()
+        if self._origin_store is not None:
+            self._origin_store.close()
 
     def __len__(self) -> int:
         return len(self._owner)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence
 
+from repro.archive.pattern_base import PatternBase
 from repro.archive.persistence import load_pattern_base
 from repro.core.serialize import sgs_from_dict
 from repro.matching.metric import DistanceMetricSpec
@@ -88,7 +89,7 @@ class MatchService:
     @classmethod
     def from_archive(
         cls,
-        path: str,
+        path: Optional[str] = None,
         shards: int = 1,
         shard_key: str = "window",
         spec: Optional[DistanceMetricSpec] = None,
@@ -97,8 +98,17 @@ class MatchService:
         max_alignment_expansions: int = 32,
         inverted_levels: Optional[Sequence[int]] = None,
         replicas: int = 1,
+        store: Optional[str] = None,
     ) -> "MatchService":
-        """Hydrate a service from a persisted archive file.
+        """Hydrate a service from a persisted archive.
+
+        ``path`` names a format-v3 dump file; ``store`` names a
+        :mod:`repro.archive.store` backend (``sqlite:PATH``). Either
+        alone works: a populated store opens directly — cold start
+        reads metadata rows, skipping the full dump load — and a dump
+        file loads into whatever store is asked for (the one-time
+        import path). Giving both with a *populated* store is an
+        error: the service cannot guess which archive should win.
 
         The archive is partitioned into ``shards`` by ``shard_key``
         (1 shard is a valid deployment — the seam still applies, e.g.
@@ -108,7 +118,24 @@ class MatchService:
         format-v3 dump's inverted signatures transfer to the shards
         without recomputation.
         """
-        base = load_pattern_base(path)
+        if path is None and store is None:
+            raise ServiceError(
+                "from_archive needs an archive file or a store"
+            )
+        if path is None:
+            base = PatternBase(store=store)
+        else:
+            if store is not None:
+                probe = PatternBase(store=store)
+                if len(probe):
+                    probe.close()
+                    raise ServiceError(
+                        "store already holds patterns; serve it without "
+                        "an archive file (or import into a fresh store)"
+                    )
+                base = load_pattern_base(path, store=probe.store)
+            else:
+                base = load_pattern_base(path)
         if inverted_levels:
             loaded = base.inverted_index()
             if loaded is None or not all(
@@ -242,6 +269,9 @@ class MatchService:
                 "replica_liveness": executor.replica_liveness(),
                 "failovers": executor.failovers,
                 "restarts": executor.restarts,
+                # Where the pattern records live (backend, durability,
+                # path, hydration-cache telemetry for a disk store).
+                "store": self.base.store_info(),
                 "requests": dict(self._counters),
             }
 
@@ -258,6 +288,7 @@ class MatchService:
 
     def close(self) -> None:
         self.engine.close()
+        self.base.close()
 
     def __enter__(self) -> "MatchService":
         return self

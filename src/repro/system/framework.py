@@ -69,6 +69,7 @@ class StreamPatternMiningSystem:
         match_inverted_levels: Optional[Sequence[int]] = None,
         match_mode: Optional[str] = None,
         match_replicas: Optional[int] = None,
+        store: Optional[str] = None,
     ):
         self.extractor = PatternExtractor(
             theta_range,
@@ -89,12 +90,24 @@ class StreamPatternMiningSystem:
         # (e.g. match_mode="process" serves from one worker, and
         # match_replicas > 1 serves from a replicated worker group).
         if shards > 1 or match_mode is not None or replicas > 1:
-            self.pattern_base = ShardedPatternBase(
-                shards, shard_key, inverted_levels=inverted_levels
-            )
+            if store is not None:
+                # The durable store stays the system of record; shard
+                # layout is a serving-time choice on top of it (reopen
+                # loads any patterns it already holds).
+                origin = PatternBase(
+                    inverted_levels=inverted_levels, store=store
+                )
+                self.pattern_base = ShardedPatternBase.from_base(
+                    origin, shards, shard_key,
+                    inverted_levels=inverted_levels,
+                )
+            else:
+                self.pattern_base = ShardedPatternBase(
+                    shards, shard_key, inverted_levels=inverted_levels
+                )
         else:
             self.pattern_base = PatternBase(
-                inverted_levels=inverted_levels
+                inverted_levels=inverted_levels, store=store
             )
         # The analyzer builds the engine matching the base: a
         # ShardedMatchEngine over a partitioned archive (with the
@@ -169,6 +182,7 @@ class StreamPatternMiningSystem:
             "match_inverted_levels",
             "match_mode",
             "match_replicas",
+            "store",
         ):
             if kwargs.get(name) is None:
                 kwargs[name] = getattr(query, name)
@@ -243,11 +257,14 @@ class StreamPatternMiningSystem:
 
     def close(self) -> None:
         """Release the match engine's executor (thread pool or shard
-        worker processes); idempotent, and a no-op for the plain
-        in-process engine."""
+        worker processes) and the archive's backing store; idempotent,
+        and a no-op for the plain in-process, in-memory setup."""
         close = getattr(self.engine, "close", None)
         if close is not None:
             close()
+        base_close = getattr(self.pattern_base, "close", None)
+        if base_close is not None:
+            base_close()
 
     def __enter__(self) -> "StreamPatternMiningSystem":
         return self

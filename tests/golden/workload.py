@@ -163,22 +163,32 @@ def render(trace: List[dict]) -> str:
 MATCH_PATH = Path(__file__).with_name("archive_matches_stt.json")
 
 
-def build_match_archive(case: GoldenCase = _SMALL) -> PatternBase:
+def build_match_archive(
+    case: GoldenCase = _SMALL, store=None
+) -> PatternBase:
     """The Pattern Base of the canonical workload run, round-tripped
     through :mod:`repro.archive.persistence` so the fixture pins the
-    persisted-archive serving path, not just the in-memory one."""
+    persisted-archive serving path, not just the in-memory one.
+
+    ``store`` selects the backend the reloaded base lives on (a spec
+    like ``"sqlite:PATH"``): the fixtures must stay byte-identical
+    across backends — storage is never semantics."""
     base = PatternBase()
     archiver = PatternArchiver(base)
     csgs = CSGS(case.theta_range, case.theta_count, DIMENSIONS)
     spec = CountBasedWindowSpec(win=case.win, slide=case.slide)
     for batch in Windower(spec).batches(ListSource(workload_points(case))):
         archiver.archive_output(csgs.process_batch(batch))
-    return load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    return load_pattern_base(
+        io.BytesIO(roundtrip_bytes(base)), store=store
+    )
 
 
-def run_match_trace(case: GoldenCase = _SMALL) -> List[dict]:
+def run_match_trace(
+    case: GoldenCase = _SMALL, store=None
+) -> List[dict]:
     """Canonical (sorted, rounded) results of a fixed query panel."""
-    base = build_match_archive(case)
+    base = build_match_archive(case, store=store)
     engine = MatchEngine(base)
     pattern_ids = sorted(p.pattern_id for p in base.all_patterns())
     query_ids = [pattern_ids[0], pattern_ids[len(pattern_ids) // 2]]
@@ -262,17 +272,21 @@ SHARDED_MATCH_PATH = Path(__file__).with_name(
 SHARDED_COUNTS = (2, 3)
 
 
-def build_sharded_v3_archive(case: GoldenCase = _SMALL) -> PatternBase:
+def build_sharded_v3_archive(
+    case: GoldenCase = _SMALL, store=None
+) -> PatternBase:
     """The canonical workload archived *with* the inverted index, then
     round-tripped through format v3 — the flat base every pinned shard
-    layout partitions."""
+    layout partitions. ``store`` selects the reloaded base's backend."""
     base = PatternBase(inverted_levels=(1,))
     archiver = PatternArchiver(base)
     csgs = CSGS(case.theta_range, case.theta_count, DIMENSIONS)
     spec = CountBasedWindowSpec(win=case.win, slide=case.slide)
     for batch in Windower(spec).batches(ListSource(workload_points(case))):
         archiver.archive_output(csgs.process_batch(batch))
-    return load_pattern_base(io.BytesIO(roundtrip_bytes(base)))
+    return load_pattern_base(
+        io.BytesIO(roundtrip_bytes(base)), store=store
+    )
 
 
 def _sharded_query_panel(base) -> List[dict]:
@@ -302,10 +316,12 @@ def _sharded_query_panel(base) -> List[dict]:
     return panel
 
 
-def run_sharded_match_trace(case: GoldenCase = _SMALL) -> List[dict]:
+def run_sharded_match_trace(
+    case: GoldenCase = _SMALL, store=None
+) -> List[dict]:
     """Canonical results of batched sharded serving, per partition key
     and pinned shard count."""
-    flat = build_sharded_v3_archive(case)
+    flat = build_sharded_v3_archive(case, store=store)
     panel = _sharded_query_panel(flat)
     trace: List[dict] = []
     for key in ("window", "feature"):
