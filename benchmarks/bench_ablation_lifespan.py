@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from common import gmti_points, report
+from common import emit_bench_record, gmti_points, report
 from repro.clustering.inc_dbscan import IncrementalDBSCAN
 from repro.clustering.naive import NaiveWindowClusterer
 from repro.core.csgs import CSGS
@@ -80,6 +80,15 @@ def test_ablation_lifespan_report(benchmark):
             fmt_seconds(inc),
             fmt_seconds(csgs),
             f"{speedups[slide]:.1f}x",
+        )
+        emit_bench_record(
+            "ablation",
+            "gmti-lifespan",
+            slide=slide,
+            naive_s=round(naive, 4),
+            inc_dbscan_s=round(inc, 4),
+            csgs_s=round(csgs, 4),
+            speedup_vs_naive=round(speedups[slide], 2),
         )
     report(table.render())
 

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import time
 
-from common import WIN, collect_window_outputs, report, stt_points
+from common import (
+    WIN,
+    collect_window_outputs,
+    emit_bench_record,
+    report,
+    stt_points,
+)
 from repro.archive.analyzer import PatternAnalyzer
 from repro.archive.pattern_base import PatternBase
 from repro.eval.harness import Table, fmt_seconds
@@ -97,6 +103,14 @@ def test_ablation_matching_report(benchmark):
     table.add_row("filter-and-refine", fmt_seconds(with_filter), refined_filter)
     table.add_row("refine everything", fmt_seconds(without_filter), refined_all)
     report(table.render())
+    emit_bench_record(
+        "matching",
+        "stt-filter-refine",
+        filter_and_refine_s=round(with_filter, 5),
+        refine_everything_s=round(without_filter, 5),
+        refined_with_filter=refined_filter,
+        refined_without_filter=refined_all,
+    )
     assert with_filter < without_filter
     assert refined_filter < refined_all
 

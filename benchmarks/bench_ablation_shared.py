@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from common import gmti_points, report
+from common import emit_bench_record, gmti_points, report
 from repro.clustering.shared import SharedCSGS
 from repro.core.csgs import CSGS
 from repro.eval.harness import Table, fmt_seconds
@@ -76,5 +76,13 @@ def test_ablation_shared_report(benchmark):
     table.add_row("shared (SharedCSGS)", fmt_seconds(shared), N_POINTS)
     report(table.render())
     report(f"shared-execution speedup: {independent / shared:.2f}x")
+    emit_bench_record(
+        "ablation",
+        "gmti-shared",
+        queries=len(THETA_COUNTS),
+        independent_s=round(independent, 4),
+        shared_s=round(shared, 4),
+        speedup=round(independent / shared, 3),
+    )
     assert shared < independent
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -22,6 +22,7 @@ from common import (
     SLIDES,
     STT_CASES,
     WIN,
+    emit_bench_record,
     report,
     run_extraction_method,
     stt_points,
@@ -128,6 +129,21 @@ def test_fig7_report(benchmark):
                 fmt_bytes(runs["extra-n"].peak_state_bytes),
                 fmt_bytes(runs["c-sgs"].peak_state_bytes),
                 f"{mem_ratio:.2f}",
+            )
+            emit_bench_record(
+                "extraction",
+                "stt-fig7",
+                theta_range=case[0],
+                theta_count=case[1],
+                slide=slide,
+                csgs_extra_n_time_ratio=round(ratio, 3),
+                csgs_extra_n_memory_ratio=round(mem_ratio, 3),
+                **{
+                    f"{m.replace('-', '_').replace('+', '_')}_s": round(
+                        runs[m].avg_window_time, 5
+                    )
+                    for m in METHODS
+                },
             )
     report(time_table.render())
     report(mem_table.render())

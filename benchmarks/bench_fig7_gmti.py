@@ -7,7 +7,7 @@ GMTI-like stream (2-D positions, drifting convoys)."""
 
 from __future__ import annotations
 
-from common import gmti_points, report, run_extraction_method
+from common import emit_bench_record, gmti_points, report, run_extraction_method
 from repro.eval.harness import Table, fmt_bytes, fmt_seconds
 
 #: (theta_range, theta_count) cases scaled to the GMTI coordinate space
@@ -64,6 +64,19 @@ def test_fig7_gmti_report(benchmark):
                 fmt_seconds(run.avg_window_time),
                 fmt_bytes(run.peak_state_bytes),
             )
+        emit_bench_record(
+            "extraction",
+            "gmti-fig7",
+            theta_range=case[0],
+            theta_count=case[1],
+            slide=SLIDE,
+            **{
+                f"{m.replace('-', '_').replace('+', '_')}_s": round(
+                    _run(m, case).avg_window_time, 5
+                )
+                for m in METHODS
+            },
+        )
     report(table.render())
 
     for case in GMTI_CASES:

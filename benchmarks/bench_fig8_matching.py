@@ -26,7 +26,13 @@ from __future__ import annotations
 import random
 import time
 
-from common import WIN, collect_window_outputs, report, stt_points
+from common import (
+    WIN,
+    collect_window_outputs,
+    emit_bench_record,
+    report,
+    stt_points,
+)
 from repro.archive.analyzer import PatternAnalyzer
 from repro.archive.pattern_base import PatternBase
 from repro.core.cells import SkeletalGridCell
@@ -337,6 +343,17 @@ def test_fig8_report(benchmark):
                 largest = (value, size)
         per_1k = largest[0] / largest[1] * 1000 if largest else 0.0
         table.add_row(fmt, *cells, fmt_seconds(per_1k))
+        emit_bench_record(
+            "matching",
+            "stt-fig8",
+            format=fmt,
+            per_1k_s=round(per_1k, 5),
+            **{
+                f"query_time_{size}_s": round(times[(fmt, size)], 5)
+                for size in ARCHIVE_SIZES
+                if (fmt, size) in times
+            },
+        )
     report(table.render())
 
     # Storage table (Figure 8b).

@@ -14,7 +14,13 @@ distinguish shapes or density distributions).
 
 from __future__ import annotations
 
-from common import WIN, collect_window_outputs, report, stt_points
+from common import (
+    WIN,
+    collect_window_outputs,
+    emit_bench_record,
+    report,
+    stt_points,
+)
 from repro.archive.analyzer import PatternAnalyzer
 from repro.archive.pattern_base import PatternBase
 from repro.eval.harness import Table
@@ -179,6 +185,14 @@ def test_fig9_report(benchmark):
             f"{outcome.similar_rate:.1%}",
             f"{outcome.very_similar_rate:.1%}",
             outcome.total,
+        )
+        emit_bench_record(
+            "quality",
+            "stt-fig9",
+            format=method,
+            similar_rate=round(outcome.similar_rate, 4),
+            very_similar_rate=round(outcome.very_similar_rate, 4),
+            ratings=outcome.total,
         )
     report(table.render())
 

@@ -1,0 +1,149 @@
+"""Query multiplexing ablation: k shared queries vs k independent runs.
+
+The multiplexing scheduler answers every stream batch with **one**
+batched range-query pass over the multi-resolution substrate, however
+many queries are registered; independent pipelines repeat the dominant
+cost — the range query per new object — k times. This bench measures
+both on the Figure-7 GMTI workload for growing k with queries mixing
+θr (rungs of the 0.625/1.25/2.5 ladder) and θc, and gates CI on the
+sharing advantage at k >= 4 (outputs are byte-identical by the
+equivalence suite; here we additionally cross-check cluster counts).
+
+Records land in ``BENCH_multiplex.json`` (JSON Lines, commit-stamped)
+so the k-scaling trajectory accumulates across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import emit_bench_record, gmti_points, report
+from repro.clustering.shared import SharedCSGS
+from repro.config import ContinuousClusteringQuery
+from repro.eval.harness import Table, fmt_seconds
+from repro.multiplex import SlideScheduler
+from repro.streams.source import ListSource
+from repro.streams.windows import CountBasedWindowSpec, Windower
+
+WIN, SLIDE = 2000, 500
+N_POINTS = WIN + 5 * SLIDE
+
+#: Mixed-parameter query sets: θr values are rungs of the geometric
+#: ladder anchored at 1.25 (factor 2), θc varies per query.
+QUERY_SETS = {
+    2: [(1.25, 4), (2.5, 8)],
+    4: [(1.25, 4), (2.5, 8), (0.625, 3), (1.25, 8)],
+    6: [(1.25, 4), (2.5, 8), (0.625, 3), (1.25, 8), (2.5, 4), (0.625, 5)],
+}
+
+_cache = {}
+
+
+def _queries(k):
+    return [
+        ContinuousClusteringQuery.count_based(theta, count, 2, WIN, SLIDE)
+        for theta, count in QUERY_SETS[k]
+    ]
+
+
+def _run_multiplexed(k):
+    key = ("shared", k)
+    if key not in _cache:
+        points = gmti_points(N_POINTS, seed=31)
+        scheduler = SlideScheduler(dimensions=2)
+        clusters = [0]
+
+        def sink(handle, output):
+            clusters[0] += len(output.clusters)
+
+        for query in _queries(k):
+            scheduler.register(query, sink=sink)
+        start = time.perf_counter()
+        scheduler.run(ListSource(points))
+        elapsed = time.perf_counter() - start
+        stats = scheduler.provider.stats
+        _cache[key] = (
+            elapsed,
+            clusters[0],
+            stats["range_queries"],
+            stats["range_query_batches"],
+        )
+    return _cache[key]
+
+
+def _run_independent(k):
+    key = ("independent", k)
+    if key not in _cache:
+        points = gmti_points(N_POINTS, seed=31)
+        # One SharedCSGS per query (single member each): the same
+        # owner-mode pipeline the equivalence suite uses as reference.
+        pipelines = [
+            SharedCSGS(q.theta_range, [q.theta_count], 2)
+            for q in _queries(k)
+        ]
+        batches = list(
+            Windower(CountBasedWindowSpec(WIN, SLIDE)).batches(
+                ListSource(points)
+            )
+        )
+        clusters = 0
+        start = time.perf_counter()
+        for batch in batches:
+            for pipeline, query in zip(pipelines, _queries(k)):
+                outputs = pipeline.process_batch(batch)
+                clusters += len(outputs[query.theta_count].clusters)
+        elapsed = time.perf_counter() - start
+        _cache[key] = (elapsed, clusters, k * N_POINTS, k * len(batches))
+    return _cache[key]
+
+
+def test_multiplex_scaling_report(benchmark):
+    table = Table(
+        "Query multiplexing — k mixed (theta_range, theta_count) "
+        f"queries, GMTI win={WIN} slide={SLIDE}",
+        ["k", "independent", "multiplexed", "speedup", "range queries"],
+    )
+    for k in sorted(QUERY_SETS):
+        shared_s, shared_clusters, shared_rq, shared_batches = (
+            _run_multiplexed(k)
+        )
+        indep_s, indep_clusters, indep_rq, _ = _run_independent(k)
+        # Same stream, same queries: the multiplexed run must observe
+        # the same clusters (full byte-equivalence is pinned by
+        # tests/test_multiplex.py).
+        assert shared_clusters == indep_clusters
+        assert shared_rq == N_POINTS
+        assert shared_batches == (N_POINTS - WIN) // SLIDE + WIN // SLIDE
+        table.add_row(
+            k,
+            fmt_seconds(indep_s),
+            fmt_seconds(shared_s),
+            f"{indep_s / shared_s:.2f}x",
+            f"{shared_rq} vs {indep_rq}",
+        )
+        emit_bench_record(
+            "multiplex",
+            "gmti-fig7",
+            k=k,
+            independent_s=round(indep_s, 4),
+            multiplexed_s=round(shared_s, 4),
+            speedup=round(indep_s / shared_s, 3),
+            range_queries_multiplexed=shared_rq,
+            range_queries_independent=indep_rq,
+            clusters=shared_clusters,
+        )
+    report(table.render())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_multiplex_shared_beats_independent(benchmark):
+    """The CI gate: with k >= 4 concurrent queries the shared one-pass
+    substrate must beat k independent pipelines."""
+    for k in (4, 6):
+        shared_s = _run_multiplexed(k)[0]
+        indep_s = _run_independent(k)[0]
+        assert shared_s < indep_s, (
+            f"multiplexed execution of {k} queries took {shared_s:.3f}s "
+            f"vs {indep_s:.3f}s independent"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import time
 
-from common import WIN, collect_window_outputs, report, stt_points
+from common import (
+    WIN,
+    collect_window_outputs,
+    emit_bench_record,
+    report,
+    stt_points,
+)
 from repro.archive.analyzer import PatternAnalyzer
 from repro.archive.archiver import PatternArchiver
 from repro.archive.pattern_base import PatternBase
@@ -118,6 +124,15 @@ def test_multires_report(benchmark):
             fmt_bytes(storage),
             fmt_seconds(query_time),
             f"{similarity:.3f}",
+        )
+        emit_bench_record(
+            "multires",
+            "stt-multires",
+            level=level,
+            cells=cells,
+            storage_bytes=storage,
+            query_time_s=round(query_time, 5),
+            match_similarity=round(similarity, 4),
         )
     report(table.render())
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from common import report
+from common import emit_bench_record, report
 from repro.clustering.cluster import partition_signature
 from repro.clustering.dbscan import dbscan
 from repro.clustering.extra_n import ExtraN
@@ -97,6 +97,16 @@ def test_time_windows_report(benchmark):
     table.add_row("csgs/extra-n ratio", f"{avg_csgs / avg_extra:.2f}")
     table.add_row("cluster mismatches vs DBSCAN", state["mismatches"])
     report(table.render())
+    emit_bench_record(
+        "extraction",
+        "gmti-time-windows",
+        windows=len(state["csgs_times"]),
+        population_min=min(state["populations"]),
+        population_max=max(state["populations"]),
+        csgs_avg_window_s=round(avg_csgs, 5),
+        extra_n_avg_window_s=round(avg_extra, 5),
+        mismatches=state["mismatches"],
+    )
 
     assert state["mismatches"] == 0
     # Populations must actually fluctuate for the experiment to bite.

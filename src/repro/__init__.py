@@ -71,7 +71,16 @@ from repro.summaries.skps import SkPSSummarizer
 from repro.query.parser import QueryParseError, parse_query
 from repro.retrieval import EngineStats, MatchEngine, MatchQuery
 from repro.system.extractor import PatternExtractor
-from repro.system.framework import StreamPatternMiningSystem
+from repro.system.framework import (
+    MultiplexedMiningSystem,
+    StreamPatternMiningSystem,
+)
+from repro.multiplex import (
+    MultiResolutionProvider,
+    QueryRegistry,
+    RegisteredQuery,
+    SlideScheduler,
+)
 from repro.tracking.archiver import EvolutionDrivenArchiver
 from repro.tracking.tracker import ClusterTracker, TrackEvent, TrackedCluster
 
@@ -98,12 +107,16 @@ __all__ = [
     "MatchEngine",
     "MatchQuery",
     "MatchResult",
+    "MultiResolutionProvider",
+    "MultiplexedMiningSystem",
     "MatchStats",
     "NaiveWindowClusterer",
     "PatternAnalyzer",
     "PatternArchiver",
     "PatternBase",
     "PatternExtractor",
+    "QueryRegistry",
+    "RegisteredQuery",
     "RSPSummarizer",
     "RetentionManager",
     "RateFluctuatingSource",
@@ -111,6 +124,7 @@ __all__ = [
     "SamplingPolicy",
     "SkPSSummarizer",
     "SkeletalGridCell",
+    "SlideScheduler",
     "StreamObject",
     "StreamPatternMiningSystem",
     "TimeBasedWindowSpec",

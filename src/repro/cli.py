@@ -5,7 +5,13 @@ Subcommands:
 * ``generate`` — write a synthetic stream (gmti / stt / blobs) to CSV;
 * ``run`` — execute a Continuous Clustering Query (textual template or
   flags) over a CSV stream, print per-window cluster digests, and
-  optionally persist the resulting Pattern Base;
+  optionally persist the resulting Pattern Base; with ``--queries FILE``
+  (one DETECT template per line) several queries multiplex over one
+  stream pass, sharing a multi-resolution substrate;
+* ``multiplex`` — run a queries file multiplexed and report the sharing
+  structure: θr rung placement, cohorts, one-pass substrate counters,
+  and (``--ab``) an output-parity + timing comparison against
+  forced-dedicated execution;
 * ``match`` — load a persisted Pattern Base and run a Cluster Matching
   Query for a pattern id or an SGS JSON file;
 * ``serve`` — keep a persisted Pattern Base resident behind a JSON-over-
@@ -19,6 +25,9 @@ Examples::
     python -m repro.cli generate --kind gmti --count 20000 --out stream.csv
     python -m repro.cli run --input stream.csv --theta-range 2.5 \
         --theta-count 8 --win 2000 --slide 500 --archive history.sgsa
+    python -m repro.cli run --input stream.csv --queries queries.txt
+    python -m repro.cli multiplex --input stream.csv \
+        --queries queries.txt --ab
     python -m repro.cli match --archive history.sgsa --pattern 12 \
         --threshold 0.25 --top 5
     python -m repro.cli serve --archive history.sgsa --shards 4 \
@@ -59,7 +68,10 @@ from repro.retrieval import (
 from repro.serving import MODES
 from repro.streams.objects import StreamObject
 from repro.streams.windows import CountBasedWindowSpec, TimeBasedWindowSpec
-from repro.system.framework import StreamPatternMiningSystem
+from repro.system.framework import (
+    MultiplexedMiningSystem,
+    StreamPatternMiningSystem,
+)
 
 
 def _write_csv(path: str, rows: Iterator[Sequence[float]]) -> int:
@@ -85,6 +97,44 @@ def _read_csv_objects(path: str, timestamp_column: Optional[int]) -> Iterator[St
             yield StreamObject(i, tuple(values), timestamp)
 
 
+def _load_queries(path: str, dimensions: int) -> list:
+    """Parse a queries file: one DETECT template per line, blank lines
+    and ``#`` comments skipped."""
+    from repro.config import ContinuousClusteringQuery
+    from repro.query.parser import QueryParseError, parse_query
+
+    queries = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                query = parse_query(text, dimensions=dimensions)
+            except QueryParseError as error:
+                raise SystemExit(f"{path}:{lineno}: {error}")
+            if not isinstance(query, ContinuousClusteringQuery):
+                raise SystemExit(
+                    f"{path}:{lineno}: only DETECT (continuous "
+                    "clustering) queries can be multiplexed"
+                )
+            queries.append(query)
+    if not queries:
+        raise SystemExit(f"{path}: no queries found")
+    return queries
+
+
+def _print_sink(handle, output):
+    digest = ", ".join(
+        f"#{c.cluster_id}:{c.size}obj/{len(s)}cells"
+        for c, s in zip(output.clusters, output.summaries)
+    )
+    print(
+        f"q{handle.id} window {output.window_index}: "
+        f"{digest or 'no clusters'}"
+    )
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.kind == "gmti":
         rows = GMTIStream(seed=args.seed).points(args.count)
@@ -105,6 +155,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("input stream is empty", file=sys.stderr)
         return 1
     dimensions = objects[0].dimensions
+    if args.queries:
+        return _run_multiplexed(args, objects, dimensions)
+    missing = [
+        flag
+        for flag, value in (
+            ("--theta-range", args.theta_range),
+            ("--theta-count", args.theta_count),
+            ("--win", args.win),
+            ("--slide", args.slide),
+        )
+        if value is None
+    ]
+    if missing:
+        print(
+            f"run needs {', '.join(missing)} (or a --queries file)",
+            file=sys.stderr,
+        )
+        return 1
     if args.time_based:
         window = TimeBasedWindowSpec(args.win, args.slide)
     else:
@@ -146,6 +214,147 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     finally:
         system.close()
+    return 0
+
+
+def _run_multiplexed(
+    args: argparse.Namespace, objects: list, dimensions: int
+) -> int:
+    queries = _load_queries(args.queries, dimensions)
+    system = MultiplexedMiningSystem(
+        dimensions,
+        archive_level=args.level,
+        refinement=args.refine,
+        match_inverted_levels=(
+            _parse_inverted_levels(args.inverted_levels) or None
+        ),
+        store=args.store,
+    )
+    archive = bool(args.archive or args.store)
+    try:
+        for query in queries:
+            handle = system.register(query, sink=_print_sink, archive=archive)
+            print(
+                f"registered q{handle.id}: theta_range="
+                f"{query.theta_range} theta_count={query.theta_count} "
+                f"win={query.window.win} slide={query.window.slide}"
+            )
+        system.run(objects)
+        for entry in system.registry.describe():
+            print(
+                f"q{entry['id']}: {entry['windows']} windows, "
+                f"{entry['clusters']} clusters "
+                f"({'dedicated' if entry['dedicated'] else 'rung ' + str(entry['rung'])})"
+            )
+        print(f"archived {system.archived_count} patterns")
+        if args.store:
+            print(f"pattern base durable in {args.store}")
+        if args.archive:
+            written = dump_pattern_base(system.pattern_base, args.archive)
+            print(
+                f"persisted pattern base to {args.archive} "
+                f"({written} bytes)"
+            )
+    finally:
+        system.close()
+    return 0
+
+
+def _cmd_multiplex(args: argparse.Namespace) -> int:
+    """Run a queries file multiplexed and report the sharing structure
+    (optionally A/B against forced-dedicated execution)."""
+    import time
+
+    from repro.multiplex import SlideScheduler
+
+    objects = list(_read_csv_objects(args.input, args.timestamp_column))
+    if not objects:
+        print("input stream is empty", file=sys.stderr)
+        return 1
+    dimensions = objects[0].dimensions
+    queries = _load_queries(args.queries, dimensions)
+
+    def execute(shared: bool):
+        scheduler = SlideScheduler(
+            dimensions,
+            factor=args.factor,
+            shared=shared,
+            refinement=args.refine,
+        )
+        captured = {}
+
+        def sink(handle, output):
+            captured.setdefault(handle.id, []).append(
+                (
+                    output.window_index,
+                    frozenset(c.member_oids() for c in output.clusters),
+                )
+            )
+
+        for query in queries:
+            scheduler.register(query, sink=sink)
+        started = time.perf_counter()
+        scheduler.run(objects)
+        elapsed = time.perf_counter() - started
+        return scheduler, captured, elapsed
+
+    scheduler, shared_results, shared_time = execute(shared=True)
+    stats = scheduler.stats()
+    print(f"{len(queries)} queries over {len(objects)} objects")
+    for entry in stats["queries"]:
+        placement = (
+            "dedicated"
+            if entry["dedicated"]
+            else f"rung {entry['rung']}"
+        )
+        print(
+            f"  q{entry['id']}: theta_range={entry['theta_range']} "
+            f"theta_count={entry['theta_count']} win={entry['win']} "
+            f"-> {placement}, {entry['windows']} windows, "
+            f"{entry['clusters']} clusters"
+        )
+    for rung in stats["rungs"]:
+        top = " (top: gather radius)" if rung["top"] else ""
+        print(
+            f"  rung {rung['level']}: theta_range="
+            f"{rung['theta_range']} serving {rung['queries']} "
+            f"queries{top}"
+        )
+    for cohort in stats["cohorts"]:
+        nesting = (
+            f", {cohort['cells']} cells in {cohort['top_cells']} "
+            "top-rung cells"
+            if "top_cells" in cohort
+            else ""
+        )
+        print(
+            f"  cohort[{cohort['mode']}] theta_range="
+            f"{cohort['theta_range']} lifespan={cohort['lifespan']}: "
+            f"{cohort['queries']} queries{nesting}"
+        )
+    provider = stats["provider"]
+    if provider is not None:
+        print(
+            f"  shared substrate: {provider['range_query_batches']} "
+            f"batched passes, {provider['range_queries']} range "
+            f"queries, {provider['gather_builds']} gather builds"
+        )
+    if stats["dedicated_range_queries"]:
+        print(
+            f"  dedicated fallback: "
+            f"{stats['dedicated_range_queries']} range queries"
+        )
+    if args.ab:
+        _, dedicated_results, dedicated_time = execute(shared=False)
+        parity = shared_results == dedicated_results
+        print(
+            f"A/B: shared {shared_time:.3f}s vs dedicated "
+            f"{dedicated_time:.3f}s "
+            f"(x{dedicated_time / max(shared_time, 1e-9):.2f}), "
+            f"outputs {'identical' if parity else 'DIVERGED'}"
+        )
+        if not parity:
+            return 1
     return 0
 
 
@@ -358,12 +567,18 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True)
     generate.set_defaults(func=_cmd_generate)
 
-    run = sub.add_parser("run", help="run a continuous clustering query")
+    run = sub.add_parser("run", help="run continuous clustering queries")
     run.add_argument("--input", required=True, help="CSV of coordinates")
-    run.add_argument("--theta-range", type=float, required=True)
-    run.add_argument("--theta-count", type=int, required=True)
-    run.add_argument("--win", type=float, required=True)
-    run.add_argument("--slide", type=float, required=True)
+    run.add_argument("--theta-range", type=float, default=None)
+    run.add_argument("--theta-count", type=int, default=None)
+    run.add_argument("--win", type=float, default=None)
+    run.add_argument("--slide", type=float, default=None)
+    run.add_argument(
+        "--queries", default=None, metavar="FILE",
+        help="multiplex several queries over one pass: a file of DETECT "
+        "templates, one per line (# comments allowed); replaces the "
+        "single-query --theta-range/--theta-count/--win/--slide flags",
+    )
     run.add_argument("--time-based", action="store_true")
     run.add_argument(
         "--timestamp-column", type=int, default=None,
@@ -400,6 +615,35 @@ def build_parser() -> argparse.ArgumentParser:
         "format v3, so later matching starts warm)",
     )
     run.set_defaults(func=_cmd_run)
+
+    multiplex = sub.add_parser(
+        "multiplex",
+        help="run a queries file multiplexed and report the sharing "
+        "structure (rungs, cohorts, one-pass substrate stats)",
+    )
+    multiplex.add_argument("--input", required=True, help="CSV of coordinates")
+    multiplex.add_argument(
+        "--queries", required=True, metavar="FILE",
+        help="DETECT templates, one per line (# comments allowed)",
+    )
+    multiplex.add_argument(
+        "--factor", type=float, default=2.0,
+        help="geometric step of the theta_range rung ladder (>= 2)",
+    )
+    multiplex.add_argument(
+        "--refine", choices=REFINEMENT_MODES, default=None,
+        help="distance-refinement kernel path of the shared substrate",
+    )
+    multiplex.add_argument(
+        "--timestamp-column", type=int, default=None,
+        help="CSV column holding event time (time-based windows)",
+    )
+    multiplex.add_argument(
+        "--ab", action="store_true",
+        help="also run with sharing disabled (every query dedicated) "
+        "and report timing plus output parity",
+    )
+    multiplex.set_defaults(func=_cmd_multiplex)
 
     match = sub.add_parser("match", help="run a cluster matching query")
     match.add_argument("--archive", default=None)

@@ -16,6 +16,18 @@ window batch, with each object's neighbor list filtered to
 already-arrived objects so member pipelines observe exactly the
 object-at-a-time semantics.
 
+:class:`SharedCSGS` runs in one of two modes:
+
+* **owner** (the default): it owns the provider, runs the batched
+  range-query pass itself, and is driven by :meth:`process_batch`;
+* **coordinator-fed** (``manage_provider=False``): the neighbor lists
+  come from outside — the query-multiplexing scheduler
+  (:mod:`repro.multiplex.scheduler`) computes them once per batch from
+  a substrate shared across *different* θr values, and drives the
+  window lifecycle through :meth:`begin_window` / :meth:`ingest` /
+  :meth:`emit`. Same-θr sharing is thus the degenerate case of the
+  general multiplexer: one cohort, no radius filtering.
+
 Correctness is unchanged: each member query maintains its own careers,
 cell lifespans, and output (tested equal to an independent C-SGS run).
 """
@@ -47,27 +59,52 @@ class SharedCSGS:
         provider: Optional[NeighborProvider] = None,
         backend: Optional[str] = None,
         refinement: Optional[str] = None,
+        cells: Optional[CellMap] = None,
+        manage_provider: bool = True,
     ):
-        if not theta_counts:
-            raise ValueError("need at least one theta_count")
-        if len(set(theta_counts)) != len(theta_counts):
-            raise ValueError("theta_counts must be distinct")
+        # Materialize before validating so generators/iterators are
+        # checked on their values, not consumed twice.
+        counts = tuple(int(count) for count in theta_counts)
+        if not counts:
+            raise ValueError(
+                "theta_counts is empty: shared execution needs at least "
+                "one member query's θc"
+            )
+        duplicates = sorted({c for c in counts if counts.count(c) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate theta_counts {duplicates}: member queries "
+                "must have distinct θc (duplicates would silently run "
+                "the same pipeline twice)"
+            )
         self.theta_range = float(theta_range)
-        self.theta_counts = tuple(int(c) for c in theta_counts)
+        self.theta_counts = counts
         self.dimensions = int(dimensions)
+        self._manage_provider = bool(manage_provider)
+        if not self._manage_provider and provider is None:
+            raise ValueError(
+                "manage_provider=False means neighbors are injected by a "
+                "coordinator; pass its provider (e.g. a rung view) so "
+                "members know their radius source"
+            )
         provider = resolve_provider(
             provider, backend, theta_range, dimensions, refinement=refinement
         )
         self.provider = provider
         # Backward-compatible alias: the provider used to always be a grid.
         self.grid = provider
-        # One SGS cell substrate for all members: the one the provider
-        # itself maintains when it has one (the grid is a CellMap; the
-        # auto backend keeps an observer CellMap), otherwise a single
-        # coordinator-owned CellMap (rather than one per member).
+        # One SGS cell substrate for all members: an injected CellMap
+        # (maintained here, purged by window stamps — the coordinator-fed
+        # mode's arrangement), the one the provider itself maintains when
+        # it has one (the grid is a CellMap; the auto backend keeps an
+        # observer CellMap), otherwise a single coordinator-owned CellMap
+        # (rather than one per member).
         substrate = cell_substrate(provider)
-        if substrate is not None:
-            self.cells: CellMap = substrate
+        if cells is not None:
+            self.cells: CellMap = cells
+            self._manage_cells = True
+        elif substrate is not None:
+            self.cells = substrate
             self._manage_cells = False
         else:
             self.cells = CellMap(theta_range, dimensions)
@@ -87,6 +124,62 @@ class SharedCSGS:
         self._expiry_buckets: Dict[int, List[StreamObject]] = {}
         self.range_queries_run = 0
 
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def remove_member(self, theta_count: int) -> CSGS:
+        """Detach one member query (its θc); returns the detached
+        pipeline. The shared substrate keeps running for the rest."""
+        count = int(theta_count)
+        member = self.members.pop(count, None)
+        if member is None:
+            raise KeyError(
+                f"no member with theta_count {count}; members are "
+                f"{sorted(self.members)}"
+            )
+        self.theta_counts = tuple(
+            c for c in self.theta_counts if c != count
+        )
+        return member
+
+    # ------------------------------------------------------------------
+    # Window lifecycle (coordinator-facing; process_batch composes them)
+    # ------------------------------------------------------------------
+
+    def begin_window(self, window_index: int) -> None:
+        """Slide every member to ``window_index``, purging expired
+        objects from the shared substrate."""
+        if self._manage_provider:
+            self._purge(window_index)
+        else:
+            # The coordinator owns the search substrate; only the cell
+            # substrate (stamped per-cohort clones) is purged here.
+            if self._manage_cells:
+                self.cells.purge_expired(window_index)
+            self.current_window = window_index
+        for member in self.members.values():
+            member.begin_window(window_index)
+
+    def ingest(
+        self, obj: StreamObject, known: List[StreamObject]
+    ) -> None:
+        """Insert one object with its resolved neighbor list into every
+        member pipeline (and the shared cell substrate)."""
+        if self._manage_cells:
+            self.cells.insert(obj)
+        if self._manage_provider:
+            self._expiry_buckets.setdefault(obj.last_window, []).append(obj)
+        for member in self.members.values():
+            member.ingest(obj, known)
+
+    def emit(self, window_index: int) -> Dict[int, WindowOutput]:
+        """Emit every member's window output: ``{theta_count: output}``."""
+        return {
+            count: member.emit(window_index)
+            for count, member in self.members.items()
+        }
+
     def _purge(self, window_index: int) -> None:
         for window in range(self.current_window, window_index):
             for obj in self._expiry_buckets.pop(window, ()):
@@ -100,21 +193,17 @@ class SharedCSGS:
 
         Returns ``{theta_count: WindowOutput}``.
         """
-        self._purge(batch.index)
-        for member in self.members.values():
-            member.begin_window(batch.index)
+        if not self._manage_provider:
+            raise ValueError(
+                "a coordinator-fed SharedCSGS is driven through "
+                "begin_window/ingest/emit, not process_batch"
+            )
+        self.begin_window(batch.index)
         new_objects = list(batch.new_objects)
         self.range_queries_run += len(new_objects)
         for obj, _, known in batched_neighborhoods(self.provider, new_objects):
-            if self._manage_cells:
-                self.cells.insert(obj)
-            self._expiry_buckets.setdefault(obj.last_window, []).append(obj)
-            for member in self.members.values():
-                member.ingest(obj, known)
-        return {
-            count: member.emit(batch.index)
-            for count, member in self.members.items()
-        }
+            self.ingest(obj, known)
+        return self.emit(batch.index)
 
     def process(
         self, batches: Iterable[WindowBatch]

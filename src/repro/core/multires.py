@@ -19,9 +19,21 @@ from repro.core.cells import CellStatus, Coord, SkeletalGridCell
 from repro.core.sgs import SGS
 
 
-def _parent_coord(coord: Coord, factor: int) -> Coord:
+def parent_coord(coord: Coord, factor: int) -> Coord:
+    """The coarser-level cell containing ``coord`` when every ``factor``
+    hypercube of finer cells folds into one coarser cell.
+
+    This is the nesting relation of the multi-resolution cell hierarchy,
+    shared by SGS coarsening and the multiplexing substrate
+    (:mod:`repro.multiplex.provider` uses it to account for how each
+    query rung's cells nest inside the shared top-rung gather cells).
+    """
     # Python's floor division handles negative grid coordinates correctly.
     return tuple(c // factor for c in coord)
+
+
+# Backward-compatible internal alias.
+_parent_coord = parent_coord
 
 
 def coarsen_sgs(sgs: SGS, factor: int = 3) -> SGS:

@@ -1,0 +1,41 @@
+"""Query multiplexing: many concurrent queries, one shared substrate.
+
+The subsystem has three layers:
+
+* :mod:`repro.multiplex.registry` — the control plane: runtime
+  registration/unregistration of Continuous Clustering Queries with
+  stable ids, lifecycle states, per-query sinks and counters;
+* :mod:`repro.multiplex.provider` — the storage plane: a
+  multi-resolution neighbor provider serving queries with differing θr
+  from one hierarchical cell structure (θr snapped onto a geometric
+  rung ladder, exact-match only);
+* :mod:`repro.multiplex.scheduler` — the data plane: a slide scheduler
+  aligning window slides across registered queries, answering each
+  stream batch with **one** batched range-query pass and fanning the
+  neighbor lists out to per-cohort C-SGS pipelines.
+
+The standing guarantee: multiplexed output is byte-identical to running
+each query in its own independent pipeline (``tests/test_multiplex.py``
+pins it across index backends).
+"""
+
+from repro.multiplex.provider import MultiResolutionProvider, RungView
+from repro.multiplex.registry import (
+    ACTIVE,
+    PENDING,
+    QueryRegistry,
+    RegisteredQuery,
+    STOPPED,
+)
+from repro.multiplex.scheduler import SlideScheduler
+
+__all__ = [
+    "ACTIVE",
+    "PENDING",
+    "STOPPED",
+    "MultiResolutionProvider",
+    "QueryRegistry",
+    "RegisteredQuery",
+    "RungView",
+    "SlideScheduler",
+]

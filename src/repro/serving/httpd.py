@@ -4,15 +4,18 @@
 handler dispatches to one shared :class:`~repro.serving.service.\
 MatchService`:
 
-========  ============  ====================================
-method    path          body / answer
-========  ============  ====================================
-GET       /healthz      liveness ``{"status": "ok", ...}``
-GET       /stats        archive + serving configuration
-POST      /ingest       ``{"sgs": <sgs dict>, "full_size"}``
-POST      /match        a wire-form match query
-POST      /match_many   ``{"queries": [<query>, ...]}``
-========  ============  ====================================
+========  =============  ====================================
+method    path           body / answer
+========  =============  ====================================
+GET       /healthz       liveness ``{"status": "ok", ...}``
+GET       /stats         archive + serving configuration
+POST      /ingest        ``{"sgs": <sgs dict>, "full_size"}``
+POST      /match         a wire-form match query
+POST      /match_many    ``{"queries": [<query>, ...]}``
+POST      /queries       register a clustering query
+POST      /stream        feed objects to registered queries
+DELETE    /queries/<id>  unregister query ``<id>``
+========  =============  ====================================
 
 Bodies and answers are JSON; a malformed request answers 400 with
 ``{"error": ...}``, an unknown path 404, a handler crash 500. The
@@ -146,6 +149,8 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             "/ingest": self.service.ingest,
             "/match": self.service.match,
             "/match_many": self.service.match_many,
+            "/queries": self.service.register_query,
+            "/stream": self.service.stream,
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -154,6 +159,21 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             self._reply_error(404, f"unknown path {self.path}")
             return
         self._dispatch(handler, with_body=True)
+
+    def do_DELETE(self) -> None:
+        prefix = "/queries/"
+        if not self.path.startswith(prefix):
+            self._unread_body = self._declared_body_length()
+            self._reply_error(404, f"unknown path {self.path}")
+            return
+        query_id = self.path[len(prefix):]
+        self._unread_body = self._declared_body_length()
+        try:
+            self._reply(200, self.service.unregister_query(query_id))
+        except ServiceError as error:
+            self._reply_error(400, str(error))
+        except Exception as error:
+            self._reply_error(500, f"{type(error).__name__}: {error}")
 
 
 def make_server(

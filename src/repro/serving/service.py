@@ -16,6 +16,14 @@ request/response methods:
 * ``stats``     — archive/serving configuration plus request counters;
 * ``healthz``   — liveness.
 
+The service also fronts the query-multiplexing subsystem
+(:mod:`repro.multiplex`): ``register_query`` / ``unregister_query``
+admit and retire Continuous Clustering Queries at runtime, and
+``stream`` feeds stream objects through the shared slide scheduler —
+one batched range-query pass per slide regardless of how many queries
+are registered. Queries registered with ``"archive": true`` feed their
+window summaries into the served archive, immediately matchable.
+
 Requests and responses are JSON-able dicts built on the wire forms of
 :mod:`repro.serving.wire`; the HTTP layer (:mod:`repro.serving.httpd`)
 only decodes/encodes JSON around these methods. A single lock
@@ -30,8 +38,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.archive.pattern_base import PatternBase
 from repro.archive.persistence import load_pattern_base
+from repro.config import ContinuousClusteringQuery
 from repro.core.serialize import sgs_from_dict
 from repro.matching.metric import DistanceMetricSpec
+from repro.multiplex.scheduler import SlideScheduler
+from repro.streams.objects import StreamObject
 from repro.retrieval.engine import EngineStats, MatchResult
 from repro.retrieval.queries import MatchQuery
 from repro.retrieval.shards import ShardedMatchEngine, ShardedPatternBase
@@ -84,7 +95,14 @@ class MatchService:
             "match": 0,
             "match_many": 0,
             "queries": 0,
+            "register_query": 0,
+            "unregister_query": 0,
+            "stream": 0,
         }
+        # The multiplexing front: created lazily by the first
+        # register_query (its payload fixes the dimensionality).
+        self._scheduler: Optional[SlideScheduler] = None
+        self._stream_oid = 0
 
     @classmethod
     def from_archive(
@@ -248,6 +266,185 @@ class MatchService:
                 ]
             }
 
+    # ------------------------------------------------------------------
+    # Query multiplexing (register / unregister / stream)
+    # ------------------------------------------------------------------
+
+    def _parse_clustering_query(
+        self, payload: Dict[str, object], dimensions: int
+    ) -> ContinuousClusteringQuery:
+        if "query" in payload:
+            from repro.query.parser import QueryParseError, parse_query
+
+            try:
+                query = parse_query(
+                    str(payload["query"]), dimensions=dimensions
+                )
+            except QueryParseError as error:
+                raise ServiceError(str(error)) from None
+            if not isinstance(query, ContinuousClusteringQuery):
+                raise ServiceError(
+                    "only DETECT (continuous clustering) queries can be "
+                    "registered for multiplexed execution"
+                )
+            return query
+        for field in ("theta_range", "theta_count", "win", "slide"):
+            if field not in payload:
+                raise ServiceError(
+                    'register needs a "query" DETECT template or '
+                    "theta_range/theta_count/win/slide fields"
+                )
+        try:
+            if payload.get("time_based"):
+                return ContinuousClusteringQuery.time_based(
+                    float(payload["theta_range"]),
+                    int(payload["theta_count"]),
+                    dimensions,
+                    win=float(payload["win"]),
+                    slide=float(payload["slide"]),
+                    origin=float(payload.get("origin", 0.0)),
+                )
+            return ContinuousClusteringQuery.count_based(
+                float(payload["theta_range"]),
+                int(payload["theta_count"]),
+                dimensions,
+                win=int(payload["win"]),
+                slide=int(payload["slide"]),
+            )
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"bad query parameters: {error}") from None
+
+    def _archive_sink(self, handle, output) -> None:
+        # Runs under the service lock (stream() holds it): route each
+        # window's summaries through the engine so executor-held shard
+        # copies hear about them too, immediately matchable.
+        for cluster, sgs in zip(output.clusters, output.summaries):
+            self.engine.ingest(sgs, cluster.size)
+
+    def register_query(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Admit a Continuous Clustering Query into the multiplexed run.
+
+        ``{"query": "DETECT ..."}`` or explicit
+        ``theta_range/theta_count/win/slide`` fields; the first
+        registration must declare ``"dimensions"`` (it fixes the run).
+        ``"archive": true`` routes the query's window summaries into
+        the served archive.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("register_query expects a JSON object")
+        with self._lock:
+            if self._scheduler is None:
+                if "dimensions" not in payload:
+                    raise ServiceError(
+                        'the first registered query must declare '
+                        '"dimensions"'
+                    )
+                try:
+                    self._scheduler = SlideScheduler(
+                        int(payload["dimensions"]),
+                        factor=float(payload.get("factor", 2.0)),
+                    )
+                except (TypeError, ValueError) as error:
+                    raise ServiceError(str(error)) from None
+            try:
+                dimensions = int(
+                    payload.get("dimensions", self._scheduler.dimensions)
+                )
+            except (TypeError, ValueError) as error:
+                raise ServiceError(str(error)) from None
+            query = self._parse_clustering_query(payload, dimensions)
+            sink = self._archive_sink if payload.get("archive") else None
+            try:
+                handle = self._scheduler.register(query, sink=sink)
+            except ValueError as error:
+                raise ServiceError(str(error)) from None
+            self._counters["register_query"] += 1
+            return {"query": handle.describe()}
+
+    def unregister_query(self, query_id) -> Dict[str, object]:
+        """Stop a registered query; it receives no further windows."""
+        with self._lock:
+            if self._scheduler is None:
+                raise ServiceError("no queries registered")
+            try:
+                handle = self._scheduler.unregister(int(query_id))
+            except KeyError:
+                raise ServiceError(
+                    f"no registered query with id {query_id}"
+                ) from None
+            except (TypeError, ValueError) as error:
+                raise ServiceError(str(error)) from None
+            self._counters["unregister_query"] += 1
+            return {"query": handle.describe()}
+
+    def stream(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Feed stream objects through the multiplexed scheduler.
+
+        ``{"objects": [[coord, ...], ...]}`` plus optional parallel
+        ``"timestamps"`` (time-based windows) and ``"flush": true`` to
+        force the final partial slide through. Returns the windows the
+        batch closed, with a per-query result block each.
+        """
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("objects"), list
+        ):
+            raise ServiceError('stream needs {"objects": [[coord, ...], ...]}')
+        timestamps = payload.get("timestamps")
+        if timestamps is not None and (
+            not isinstance(timestamps, list)
+            or len(timestamps) != len(payload["objects"])
+        ):
+            raise ServiceError("timestamps must parallel objects")
+        with self._lock:
+            if self._scheduler is None or not len(self._scheduler.registry):
+                raise ServiceError("register a query before streaming")
+            dimensions = self._scheduler.dimensions
+            objects = []
+            try:
+                for i, coords in enumerate(payload["objects"]):
+                    values = tuple(float(v) for v in coords)
+                    if len(values) != dimensions:
+                        raise ServiceError(
+                            f"object {i} has {len(values)} coordinates; "
+                            f"this run is {dimensions}-dimensional"
+                        )
+                    timestamp = (
+                        float(timestamps[i]) if timestamps is not None else None
+                    )
+                    objects.append(
+                        StreamObject(self._stream_oid + i, values, timestamp)
+                    )
+            except ServiceError:
+                raise
+            except (TypeError, ValueError) as error:
+                raise ServiceError(f"bad stream objects: {error}") from None
+            self._stream_oid += len(objects)
+            try:
+                windows = self._scheduler.feed(objects)
+                if payload.get("flush"):
+                    windows.extend(self._scheduler.flush())
+            except ValueError as error:
+                raise ServiceError(str(error)) from None
+            self._counters["stream"] += 1
+            return {
+                "accepted": len(objects),
+                "windows": [
+                    {
+                        "window": index,
+                        "queries": {
+                            str(qid): {
+                                "clusters": len(output.clusters),
+                                "cluster_sizes": [
+                                    c.size for c in output.clusters
+                                ],
+                            }
+                            for qid, output in sorted(outputs.items())
+                        },
+                    }
+                    for index, outputs in windows
+                ],
+            }
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             executor = self.engine.executor
@@ -273,6 +470,13 @@ class MatchService:
                 # path, hydration-cache telemetry for a disk store).
                 "store": self.base.store_info(),
                 "requests": dict(self._counters),
+                # Per-query blocks and sharing structure of the
+                # multiplexed run, when one is active.
+                "multiplex": (
+                    self._scheduler.stats()
+                    if self._scheduler is not None
+                    else None
+                ),
             }
 
     def healthz(self) -> Dict[str, object]:

@@ -1,6 +1,13 @@
 """End-to-end framework wiring the four components of Figure 4."""
 
 from repro.system.extractor import PatternExtractor
-from repro.system.framework import StreamPatternMiningSystem
+from repro.system.framework import (
+    MultiplexedMiningSystem,
+    StreamPatternMiningSystem,
+)
 
-__all__ = ["PatternExtractor", "StreamPatternMiningSystem"]
+__all__ = [
+    "MultiplexedMiningSystem",
+    "PatternExtractor",
+    "StreamPatternMiningSystem",
+]

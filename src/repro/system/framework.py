@@ -27,6 +27,8 @@ from repro.config import ClusterMatchingQuery, ContinuousClusteringQuery
 from repro.core.csgs import WindowOutput
 from repro.core.sgs import SGS
 from repro.matching.metric import DistanceMetricSpec
+from repro.multiplex.registry import RegisteredQuery, Sink
+from repro.multiplex.scheduler import SlideScheduler
 from repro.retrieval.engine import EngineStats, MatchEngine
 from repro.retrieval.queries import MatchQuery
 from repro.retrieval.shards import ShardedPatternBase
@@ -267,6 +269,132 @@ class StreamPatternMiningSystem:
             base_close()
 
     def __enter__(self) -> "StreamPatternMiningSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MultiplexedMiningSystem:
+    """The Figure-4 framework with a multiplexed Pattern Extractor.
+
+    Where :class:`StreamPatternMiningSystem` runs **one** Continuous
+    Clustering Query end to end, this system runs **many** concurrently
+    over one stream: queries register and unregister at runtime
+    (:mod:`repro.multiplex.registry`), a slide scheduler answers every
+    batch with one shared range-query pass
+    (:mod:`repro.multiplex.scheduler`), and a single Pattern
+    Base / Archiver / Analyzer serves the accumulated archive across all
+    of them. Queries opting into archival (``archive=True``) feed their
+    window outputs through the shared archiver; every query's output is
+    still byte-identical to a dedicated independent run.
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        metric: Optional[DistanceMetricSpec] = None,
+        archive_policy: Optional[ArchivePolicy] = None,
+        archive_level: int = 0,
+        archive_byte_budget: Optional[int] = None,
+        factor: float = 2.0,
+        shared: bool = True,
+        refinement: Optional[str] = None,
+        match_coarse_level: Optional[int] = None,
+        match_max_expansions: Optional[int] = None,
+        match_inverted_levels: Optional[Sequence[int]] = None,
+        store: Optional[str] = None,
+    ):
+        self.scheduler = SlideScheduler(
+            dimensions, factor=factor, shared=shared, refinement=refinement
+        )
+        self.registry = self.scheduler.registry
+        inverted_levels = (
+            tuple(match_inverted_levels) if match_inverted_levels else None
+        )
+        self.pattern_base = PatternBase(
+            inverted_levels=inverted_levels, store=store
+        )
+        self.archiver = PatternArchiver(
+            self.pattern_base,
+            policy=archive_policy,
+            level=archive_level,
+            byte_budget_per_cluster=archive_byte_budget,
+        )
+        self.analyzer = PatternAnalyzer(
+            self.pattern_base,
+            metric,
+            max_alignment_expansions=(
+                32 if match_max_expansions is None else match_max_expansions
+            ),
+            coarse_level=(
+                0 if match_coarse_level is None else match_coarse_level
+            ),
+        )
+
+    @property
+    def engine(self) -> MatchEngine:
+        return self.analyzer.engine
+
+    def register(
+        self,
+        query: ContinuousClusteringQuery,
+        sink: Optional[Sink] = None,
+        archive: bool = False,
+    ) -> RegisteredQuery:
+        """Admit a query into the multiplexed run. With ``archive=True``
+        its window outputs also flow into the shared Pattern Base (via
+        the archiver's policy), before the caller's sink sees them."""
+        if archive:
+            caller_sink = sink
+
+            def sink(handle, output):
+                self.archiver.archive_output(output)
+                if caller_sink is not None:
+                    caller_sink(handle, output)
+
+        return self.scheduler.register(query, sink=sink)
+
+    def unregister(self, query_id: int) -> RegisteredQuery:
+        return self.scheduler.unregister(query_id)
+
+    def feed(self, source: Iterable[StreamObject]):
+        return self.scheduler.feed(source)
+
+    def flush(self):
+        return self.scheduler.flush()
+
+    def run(self, source: Iterable[StreamObject]):
+        return self.scheduler.run(source)
+
+    def match(
+        self,
+        query: SGS,
+        threshold: float,
+        top_k: Optional[int] = None,
+        spec: Optional[DistanceMetricSpec] = None,
+    ) -> "tuple[List[MatchResult], MatchStats]":
+        """A Cluster Matching Query against the shared archive."""
+        return self.analyzer.match(query, threshold, top_k=top_k, spec=spec)
+
+    @property
+    def archived_count(self) -> int:
+        return len(self.pattern_base)
+
+    def stats(self) -> dict:
+        stats = self.scheduler.stats()
+        stats["archived"] = len(self.pattern_base)
+        return stats
+
+    def close(self) -> None:
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+        base_close = getattr(self.pattern_base, "close", None)
+        if base_close is not None:
+            base_close()
+
+    def __enter__(self) -> "MultiplexedMiningSystem":
         return self
 
     def __exit__(self, *exc_info) -> None:
